@@ -1,0 +1,51 @@
+"""E2 — Figure 5: runtime overhead breakdown per encoding.
+
+Regenerates the stacked-bar data: per benchmark and encoding, the
+overhead split into (1) setbound instructions, (2) µops for
+loading/storing bounds, (3) stalls on pointer metadata, (4) cache
+pollution; plus the total.  Paper shape: averages of roughly 9%
+(extern-4), 7% (intern-4) and 5% (intern-11), intern-11 max ~15%.
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import figure5_breakdown, figure5_table, \
+    format_table
+from repro.harness.runner import ENCODINGS
+
+
+def test_figure5(matrix, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: figure5_table(matrix), rounds=1, iterations=1)
+    table = format_table(headers, rows,
+                         "Figure 5: runtime overhead breakdown")
+    print("\n" + table)
+    write_result("figure5.txt", table)
+
+    averages = {}
+    for enc in ENCODINGS:
+        total = sum(figure5_breakdown(matrix[name], enc)["total"]
+                    for name in matrix)
+        averages[enc] = total / len(matrix)
+    # shape assertions from the paper
+    assert averages["extern4"] >= averages["intern4"] - 1e-9
+    assert averages["intern4"] >= averages["intern11"] - 1e-9
+    assert 0.0 < averages["intern11"] < 0.20, averages
+    assert averages["extern4"] < 0.35, averages
+    # intern-11 trims the worst case (paper: max 15%)
+    worst11 = max(figure5_breakdown(matrix[n], "intern11")["total"]
+                  for n in matrix)
+    worst4 = max(figure5_breakdown(matrix[n], "extern4")["total"]
+                 for n in matrix)
+    assert worst11 <= worst4 + 1e-9
+
+
+def test_figure5_breakdown_accounts_for_total(matrix):
+    """Segments should approximately compose the total overhead."""
+    for name, bench in matrix.items():
+        for enc in ENCODINGS:
+            seg = figure5_breakdown(bench, enc)
+            reconstructed = (seg["setbound"] + seg["meta_uops"]
+                             + seg["meta_stall"] + seg["pollution"])
+            assert abs(reconstructed - seg["total"]) < 0.10, \
+                (name, enc, seg)

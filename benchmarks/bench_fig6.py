@@ -1,0 +1,52 @@
+"""E3 — Figure 6: memory overhead in extra distinct pages.
+
+Paper shape: the 4-bit external encoding touches the most extra
+pages (avg ~55%), the 4-bit internal encoding reduces tag pages but
+not base/bound pages, and the 11-bit internal encoding collapses the
+base/bound overhead (avg ~10%); a few benchmarks exceed 100% under
+the 4-bit encodings.
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import figure6_table, format_table
+from repro.harness.runner import ENCODINGS
+
+
+def _avg_total(matrix, enc):
+    return sum(m.page_overhead(enc)["total"] for m in matrix.values()) \
+        / len(matrix)
+
+
+def test_figure6(matrix, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: figure6_table(matrix), rounds=1, iterations=1)
+    table = format_table(headers, rows,
+                         "Figure 6: extra distinct pages touched")
+    print("\n" + table)
+    write_result("figure6.txt", table)
+
+    ext4 = _avg_total(matrix, "extern4")
+    int4 = _avg_total(matrix, "intern4")
+    int11 = _avg_total(matrix, "intern11")
+    # paper shape: extern4 worst, intern11 dramatically better
+    assert ext4 >= int4 - 1e-9
+    assert int11 < ext4
+    assert int11 < 0.6 * ext4 + 1e-9
+
+
+def test_figure6_intern4_reduces_tag_pages(matrix):
+    """The 1-bit tag space shrinks tag pages vs. the 4-bit space."""
+    for name, bench in matrix.items():
+        tag4 = bench.page_overhead("extern4")["tag"]
+        tag1 = bench.page_overhead("intern4")["tag"]
+        assert tag1 <= tag4 + 1e-9, name
+
+
+def test_figure6_intern11_attacks_base_bound_pages(matrix):
+    """intern-11 compresses larger objects: fewer shadow pages."""
+    total4 = sum(m.page_overhead("intern4")["shadow"]
+                 for m in matrix.values())
+    total11 = sum(m.page_overhead("intern11")["shadow"]
+                  for m in matrix.values())
+    assert total11 < total4

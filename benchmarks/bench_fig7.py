@@ -1,0 +1,57 @@
+"""E4 — Figure 7: comparison against JK/RL/DA and CCured.
+
+Regenerates the paper's comparison table with published columns
+quoted and simulator columns measured.  Paper shape to preserve:
+
+* HardBound's average overhead is below every software scheme;
+* CCured's µop overhead is large (published 1.40) but an out-of-order
+  machine hides part of it — our in-order core, like the paper's,
+  does not (published sim runtime 1.29);
+* intern-11 has the smallest worst-case of all schemes.
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import (
+    FIGURE7_PUBLISHED_AVERAGE,
+    figure7_table,
+    format_table,
+)
+
+
+def _avg(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_figure7(matrix, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: figure7_table(matrix), rounds=1, iterations=1)
+    table = format_table(headers, rows,
+                         "Figure 7: runtime overhead comparison")
+    print("\n" + table)
+    write_result("figure7.txt", table)
+
+    hb11 = _avg(m.overhead("intern11") for m in matrix.values())
+    hb4e = _avg(m.overhead("extern4") for m in matrix.values())
+    cc_run = _avg(m.ccured_runtime_overhead() for m in matrix.values())
+    cc_uops = _avg(m.ccured_uop_overhead() for m in matrix.values())
+    jk = _avg(m.objtable_runtime_overhead() for m in matrix.values())
+
+    # who wins: HardBound beats both software schemes on average
+    assert hb11 < cc_run
+    assert hb11 < jk
+    assert hb4e < cc_uops
+    # rough magnitudes against the published averages
+    assert abs(cc_uops - FIGURE7_PUBLISHED_AVERAGE["cc_uops"]) < 0.35
+    assert abs(jk - FIGURE7_PUBLISHED_AVERAGE["jkrlda"]) < 0.35
+    assert hb11 < 1.20
+
+
+def test_figure7_worst_case_is_tamed(matrix):
+    """Paper: intern-11's max overhead (15%) is far below the software
+    schemes' worst benchmarks (>50%)."""
+    worst_hb11 = max(m.overhead("intern11") for m in matrix.values())
+    worst_cc = max(m.ccured_runtime_overhead() for m in matrix.values())
+    assert worst_hb11 < worst_cc
+    assert worst_hb11 < 1.25

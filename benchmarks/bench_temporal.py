@@ -1,0 +1,48 @@
+"""E11 (extension) — cost of the Section 6.2 temporal tracking.
+
+The paper argues per-word alloc/unalloc tracking is a natural add-on
+to HardBound's metadata.  This ablation measures what the extension
+costs on an allocation-heavy workload and verifies it changes no
+results.
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import format_table
+from repro.harness.runner import run_workload
+from repro.machine import MachineConfig
+
+BENCHES = ("treeadd", "health", "bisort")
+
+
+def test_temporal_overhead(benchmark):
+    def measure():
+        out = {}
+        for name in BENCHES:
+            spatial = run_workload(
+                name, MachineConfig.hardbound(encoding="intern11"))
+            temporal = run_workload(
+                name, MachineConfig.hardbound(encoding="intern11",
+                                              temporal=True))
+            out[name] = (spatial, temporal)
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for name, (spatial, temporal) in out.items():
+        rows.append([name,
+                     "%d" % spatial.cycles,
+                     "%d" % temporal.cycles,
+                     "%.4f" % (temporal.cycles / spatial.cycles)])
+    table = format_table(
+        ["benchmark", "spatial-cycles", "temporal-cycles", "ratio"],
+        rows, "E11: temporal-extension cost (intern11)")
+    print("\n" + table)
+    write_result("temporal_overhead.txt", table)
+
+    for name, (spatial, temporal) in out.items():
+        assert spatial.output == temporal.output, name
+        # the tracker itself is off the timing path in this model:
+        # cycle counts may only differ through markfree execution
+        assert temporal.cycles >= spatial.cycles
+        assert temporal.cycles <= 1.05 * spatial.cycles, name

@@ -1,0 +1,53 @@
+"""E12 (extension) — Section 8's static unbounding optimization.
+
+"If the compiler can statically prove that bounds checking is not
+necessary, it can unbound the pointer to reduce HardBound's checking
+overheads."  We measure the constant-index optimization on the Olden
+benchmarks (which, being pointer-chasing codes, benefit modestly —
+the paper's bh inlining change addressed exactly this class of cost).
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import format_table
+from repro.harness.runner import ENCODINGS
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import CPU
+from repro.minic.codegen import InstrumentMode
+from repro.minic.driver import compile_program
+from repro.workloads.registry import WORKLOADS
+
+BENCHES = ("bh", "perimeter", "em3d")
+
+
+def test_unbound_optimization(benchmark):
+    def measure():
+        out = {}
+        for name in BENCHES:
+            source = WORKLOADS[name].source
+            runs = {}
+            for label, opt in (("bounded", False), ("unbound", True)):
+                program = compile_program(
+                    source, InstrumentMode.HARDBOUND,
+                    optimize_static=opt)
+                cfg = MachineConfig.hardbound(encoding="intern11")
+                runs[label] = CPU(program, cfg).run()
+            out[name] = runs
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for name, runs in out.items():
+        bounded, unbound = runs["bounded"], runs["unbound"]
+        rows.append([name, "%d" % bounded.cycles,
+                     "%d" % unbound.cycles,
+                     "%.4f" % (unbound.cycles / bounded.cycles)])
+    table = format_table(
+        ["benchmark", "bounded-cycles", "unbound-cycles", "ratio"],
+        rows, "E12: static unbounding optimization (Section 8)")
+    print("\n" + table)
+    write_result("unbound_opt.txt", table)
+
+    for name, runs in out.items():
+        assert runs["bounded"].output == runs["unbound"].output, name
+        assert runs["unbound"].cycles <= runs["bounded"].cycles, name

@@ -1,0 +1,22 @@
+"""Per-workload simulation timings (pytest-benchmark's own table).
+
+Not a paper figure — this measures the wall-clock cost of simulating
+each Olden benchmark under the best encoding, useful for tracking
+simulator performance regressions.
+"""
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.machine.config import MachineConfig
+from repro.workloads.registry import WORKLOADS
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_simulate_workload(name, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_workload(name,
+                             MachineConfig.hardbound(
+                                 encoding="intern11")),
+        rounds=1, iterations=1)
+    assert result.exit_code == 0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Why spatial safety matters: a data-corruption "attack" demo.
+
+A classic privilege-escalation-by-overflow: a fixed-size username
+buffer sits next to an ``is_admin`` flag.  Overlong input silently
+flips the flag on an unprotected machine; HardBound stops the write
+at the buffer's bound.  Also shows Section 6.1's pointer-forging
+protection: an integer cast to a pointer cannot be dereferenced.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro import BoundsError, MachineConfig, NonPointerError, \
+    compile_and_run
+
+LOGIN = """
+struct session {
+    char username[8];
+    int is_admin;
+};
+
+int login(struct session *s, char *name) {
+    s->is_admin = 0;
+    strcpy(s->username, name);      // no length check: the bug
+    return s->is_admin;
+}
+
+int main() {
+    struct session *s = (struct session*)malloc(sizeof(struct session));
+    int admin = login(s, "AAAAAAAA\\x01\\x00\\x00");
+    if (admin) { puts("uid=0  PWNED"); }
+    else { puts("uid=1000"); }
+    return admin != 0;
+}
+"""
+
+FORGED_POINTER = """
+int secret = 42;
+int main() {
+    // an attacker computed &secret == this address out of band
+    int *probe = (int*)65536;
+    return *probe;                   // forged pointer dereference
+}
+"""
+
+
+def main():
+    print("overflow into an adjacent privilege flag")
+    print("-" * 56)
+    result = compile_and_run(LOGIN, MachineConfig.plain())
+    print("plain core:     %s (exit=%d)"
+          % (result.output.strip(), result.exit_code))
+    try:
+        compile_and_run(LOGIN, MachineConfig.hardbound())
+    except BoundsError as err:
+        print("HardBound:      trap in strcpy -> %s" % err)
+
+    print()
+    print("forged pointer (Section 6.1)")
+    print("-" * 56)
+    result = compile_and_run(FORGED_POINTER, MachineConfig.plain())
+    print("plain core:     arbitrary read succeeded (exit=%d)"
+          % result.exit_code)
+    try:
+        compile_and_run(FORGED_POINTER, MachineConfig.hardbound())
+    except NonPointerError as err:
+        print("HardBound:      %s" % err)
+        print("(casting an int to int* yields a non-pointer: every")
+        print(" dereference through it traps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Malloc-only mode: protecting legacy binaries (Section 3.2, fn. 2).
+
+One of HardBound's modes needs *no compiler support at all*: only
+``malloc`` is instrumented with ``setbound``, and existing binaries
+get per-allocation heap protection.  This example compiles a program
+with heap-only instrumentation (the compiler inserts nothing) and
+shows what that mode does and does not catch.
+
+Run:  python examples/legacy_heap_protection.py
+"""
+
+from repro import BoundsError, MachineConfig, compile_and_run
+
+CFG = MachineConfig.malloc_only()
+
+HEAP_OVERFLOW = """
+int main() {
+    char *name = (char*)malloc(8);
+    strcpy(name, "too long for 8b");   // heap overflow
+    return 0;
+}
+"""
+
+STACK_OVERFLOW = """
+int main() {
+    int canary = 7;
+    int buf[2];
+    buf[2] = 99;                // off the end of a stack array
+    return canary;
+}
+"""
+
+
+def main():
+    print("malloc-only HardBound: legacy binary, instrumented malloc\n")
+
+    print("heap overflow through strcpy:")
+    try:
+        compile_and_run(HEAP_OVERFLOW, CFG)
+        print("  NOT DETECTED (unexpected!)")
+    except BoundsError as err:
+        print("  caught: %s" % err)
+
+    print("\nstack overflow (no compiler instrumentation in this mode):")
+    result = compile_and_run(STACK_OVERFLOW, CFG)
+    print("  ran silently, exit=%d -- stack objects are unprotected;"
+          % result.exit_code)
+    print("  full protection needs the compiler pass "
+          "(MachineConfig.hardbound()).")
+
+    print("\nand with full instrumentation:")
+    try:
+        compile_and_run(STACK_OVERFLOW, MachineConfig.hardbound())
+    except BoundsError as err:
+        print("  caught: %s" % err)
+
+
+if __name__ == "__main__":
+    main()

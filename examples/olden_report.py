@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Run the Olden suite and print the paper's Figures 5-7.
+
+This is the full Section 5 evaluation in one command (about a minute
+of simulation).  Pass benchmark names to restrict the set:
+
+    python examples/olden_report.py            # all nine
+    python examples/olden_report.py mst em3d   # a subset
+"""
+
+import sys
+
+from repro.harness import (
+    figure5_table,
+    figure6_table,
+    figure7_table,
+    format_table,
+    run_benchmark_matrix,
+)
+from repro.workloads import WORKLOADS
+
+
+def main(argv):
+    names = argv[1:] or None
+    if names:
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            raise SystemExit("unknown workloads: %s (have: %s)"
+                             % (", ".join(unknown),
+                                ", ".join(WORKLOADS)))
+    print("Running the measurement matrix (9 workloads x 6 configs)..."
+          if not names else
+          "Running %d workload(s) x 6 configs..." % len(names))
+    matrix = run_benchmark_matrix(workloads=names)
+
+    for builder, title in ((figure5_table,
+                            "Figure 5: runtime overhead breakdown"),
+                           (figure6_table,
+                            "Figure 6: extra distinct pages"),
+                           (figure7_table,
+                            "Figure 7: comparison vs software schemes")):
+        headers, rows = builder(matrix)
+        print()
+        print(format_table(headers, rows, title))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

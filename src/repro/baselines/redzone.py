@@ -1,0 +1,73 @@
+"""Red-zone tripwire baseline (Section 2.1).
+
+Purify/Valgrind-style checking: each allocation is surrounded by a
+small invalid "red zone"; every access is checked against a validity
+map.  Contiguous overflows hit the zone; *large* overflows can jump
+clean over it into a neighbouring object — the incompleteness the
+paper uses to motivate bounded pointers.
+
+Attached as a CPU observer: ``setbound`` events (from ``malloc``)
+register allocations, memory events are validated against the map.
+Violations are recorded, not raised, so a run can be compared against
+HardBound's ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+#: red-zone width in bytes (Purify's default is larger; a small zone
+#: makes the jump-over incompleteness easy to demonstrate)
+DEFAULT_ZONE = 4
+
+
+class RedZoneChecker:
+    """Byte-granular validity map with red zones between heap objects."""
+
+    def __init__(self, zone: int = DEFAULT_ZONE,
+                 heap_only: bool = True):
+        self.zone = zone
+        self.heap_only = heap_only
+        self._valid: Set[int] = set()
+        self._red: Set[int] = set()
+        self.violations: List[Tuple[int, str]] = []
+        self.allocations = 0
+        self.checked_accesses = 0
+
+    # -- CPU observer interface -------------------------------------------------
+
+    def on_setbound(self, value: int, size: int) -> None:
+        """Register [value, value+size) valid, with a trailing zone."""
+        self.allocations += 1
+        size = max(size, 1)
+        for addr in range(value, value + size):
+            self._valid.add(addr)
+            self._red.discard(addr)
+        for addr in range(value + size, value + size + self.zone):
+            if addr not in self._valid:
+                self._red.add(addr)
+        for addr in range(value - self.zone, value):
+            if addr not in self._valid:
+                self._red.add(addr)
+
+    def on_pointer_arith(self, value: int) -> None:
+        """Red zones do not check arithmetic, only accesses."""
+
+    def on_mem(self, ea: int, size: int, write: bool) -> None:
+        self.checked_accesses += 1
+        for addr in range(ea, ea + size):
+            if addr in self._red:
+                self.violations.append(
+                    (addr, "write" if write else "read"))
+                return
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_valid(self, addr: int) -> bool:
+        return addr in self._valid
+
+    def is_red(self, addr: int) -> bool:
+        return addr in self._red
+
+    def detected(self) -> bool:
+        return bool(self.violations)

@@ -1,0 +1,207 @@
+"""Interval splay tree — the object-table data structure.
+
+Jones & Kelly's object table "is typically implemented as a splay
+tree in which objects are identified with their locations in memory"
+(Section 2.2).  This is a classic bottom-up splay tree over
+non-overlapping [start, end) intervals, instrumented to report how
+many nodes each operation touches so the object-table baseline can
+charge realistic µop costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class SplayNode:
+    __slots__ = ("start", "end", "left", "right", "parent")
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+        self.left: Optional[SplayNode] = None
+        self.right: Optional[SplayNode] = None
+        self.parent: Optional[SplayNode] = None
+
+    def __repr__(self):
+        return "SplayNode([0x%x, 0x%x))" % (self.start, self.end)
+
+
+class SplayTree:
+    """Splay tree keyed by interval start; lookup by containment."""
+
+    def __init__(self):
+        self.root: Optional[SplayNode] = None
+        self.size = 0
+        # lifetime statistics
+        self.lookups = 0
+        self.inserts = 0
+        self.removes = 0
+        self.nodes_touched = 0
+
+    # -- rotations ----------------------------------------------------------
+
+    def _rotate(self, x: SplayNode) -> None:
+        p = x.parent
+        g = p.parent
+        if p.left is x:
+            p.left = x.right
+            if x.right:
+                x.right.parent = p
+            x.right = p
+        else:
+            p.right = x.left
+            if x.left:
+                x.left.parent = p
+            x.left = p
+        p.parent = x
+        x.parent = g
+        if g is None:
+            self.root = x
+        elif g.left is p:
+            g.left = x
+        else:
+            g.right = x
+
+    def _splay(self, x: SplayNode) -> None:
+        while x.parent is not None:
+            p = x.parent
+            g = p.parent
+            if g is None:
+                self._rotate(x)                       # zig
+            elif (g.left is p) == (p.left is x):
+                self._rotate(p)                       # zig-zig
+                self._rotate(x)
+            else:
+                self._rotate(x)                       # zig-zag
+                self._rotate(x)
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(self, start: int, end: int) -> int:
+        """Insert [start, end); returns nodes touched on the way down."""
+        self.inserts += 1
+        touched = 1
+        node = SplayNode(start, end)
+        if self.root is None:
+            self.root = node
+            self.size += 1
+            self.nodes_touched += touched
+            return touched
+        cur = self.root
+        while True:
+            touched += 1
+            if start < cur.start:
+                if cur.left is None:
+                    cur.left = node
+                    node.parent = cur
+                    break
+                cur = cur.left
+            else:
+                if cur.right is None:
+                    cur.right = node
+                    node.parent = cur
+                    break
+                cur = cur.right
+        self._splay(node)
+        self.size += 1
+        self.nodes_touched += touched
+        return touched
+
+    def lookup(self, addr: int) -> Tuple[Optional[SplayNode], int]:
+        """Find the interval containing ``addr``; splay it to the root.
+
+        Returns (node-or-None, nodes touched).  Repeated lookups of
+        the same hot object are cheap — the behaviour responsible for
+        the object-table approach's cache-like cost profile.
+        """
+        self.lookups += 1
+        touched = 0
+        cur = self.root
+        best = None
+        while cur is not None:
+            touched += 1
+            if addr < cur.start:
+                cur = cur.left
+            elif addr >= cur.end:
+                best = cur  # candidate predecessor
+                cur = cur.right
+            else:
+                self._splay(cur)
+                self.nodes_touched += touched
+                return cur, touched
+        if best is not None:
+            self._splay(best)
+        self.nodes_touched += touched
+        return None, touched
+
+    def remove(self, start: int) -> bool:
+        """Remove the interval starting exactly at ``start``."""
+        self.removes += 1
+        node, touched = self._find_exact(start)
+        self.nodes_touched += touched
+        if node is None:
+            return False
+        self._splay(node)
+        left, right = node.left, node.right
+        if left:
+            left.parent = None
+        if right:
+            right.parent = None
+        if left is None:
+            self.root = right
+        else:
+            # splay the maximum of the left subtree, hang right on it
+            cur = left
+            while cur.right is not None:
+                cur = cur.right
+            self.root = left
+            self._splay(cur)
+            cur.right = right
+            if right:
+                right.parent = cur
+        self.size -= 1
+        return True
+
+    def _find_exact(self, start: int) -> Tuple[Optional[SplayNode], int]:
+        cur = self.root
+        touched = 0
+        while cur is not None:
+            touched += 1
+            if start == cur.start:
+                return cur, touched
+            cur = cur.left if start < cur.start else cur.right
+        return None, touched
+
+    # -- validation helpers (tests) -----------------------------------------
+
+    def in_order(self):
+        """Yield (start, end) in key order (iterative, no recursion cap)."""
+        stack, cur = [], self.root
+        while stack or cur:
+            while cur:
+                stack.append(cur)
+                cur = cur.left
+            cur = stack.pop()
+            yield cur.start, cur.end
+            cur = cur.right
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if BST/parent links are inconsistent."""
+        seen = 0
+        prev_start = None
+        for start, _end in self.in_order():
+            if prev_start is not None:
+                assert start >= prev_start, "BST order violated"
+            prev_start = start
+            seen += 1
+        assert seen == self.size, "size mismatch: %d != %d" % (seen,
+                                                               self.size)
+        self._check_parents(self.root, None)
+
+    def _check_parents(self, node, parent) -> None:
+        if node is None:
+            return
+        assert node.parent is parent, "broken parent link at %r" % node
+        self._check_parents(node.left, node)
+        self._check_parents(node.right, node)

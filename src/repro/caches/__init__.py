@@ -1,0 +1,8 @@
+"""Cache, TLB and memory-system timing model (Section 5.1 parameters)."""
+
+from repro.caches.cache import Cache
+from repro.caches.stats import AccessStats, KindStats
+from repro.caches.hierarchy import MemorySystem, CacheParams
+
+__all__ = ["Cache", "AccessStats", "KindStats", "MemorySystem",
+           "CacheParams"]

@@ -1,0 +1,14 @@
+"""HardBound core: bounded-pointer propagation, checking and metadata.
+
+This package is the paper's primary contribution.  The
+:class:`~repro.hardbound.engine.HardBoundEngine` implements the
+hardware duties of Section 3.1/4.4: implicit bounds checks on every
+dereference, metadata propagation to and from memory, tag-space and
+shadow-space traffic, and opportunistic compression.  It plugs into
+:class:`repro.machine.cpu.CPU`, which implements register-to-register
+propagation (Figure 3A/B) inline.
+"""
+
+from repro.hardbound.engine import HardBoundEngine, HardBoundStats
+
+__all__ = ["HardBoundEngine", "HardBoundStats"]

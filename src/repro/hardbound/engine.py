@@ -1,0 +1,159 @@
+"""The HardBound metadata engine.
+
+Implements the hardware side of the division of labour (Section 3):
+given software-initialized bounds, the engine
+
+* performs the implicit bounds check on every load/store effective
+  address (Figure 3C/D), raising :class:`~repro.machine.errors.
+  BoundsError` / :class:`~repro.machine.errors.NonPointerError`;
+* propagates metadata to and from memory, maintaining the functional
+  tag (pointer/non-pointer) and base/bound state per memory word;
+* charges the *timing* of metadata traffic: a tag-space probe for
+  every memory operation, plus — only for pointers the active
+  encoding cannot compress — a shadow-space double-word access that
+  also costs one extra µop (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.caches.hierarchy import MemorySystem
+from repro.layout import WORD, shadow_base_addr
+from repro.machine.errors import BoundsError, NonPointerError
+from repro.metadata.encodings import Encoding
+from repro.metadata.store import MetadataStore
+
+
+class HardBoundStats:
+    """Counters reported in Figure 5's stacked bars."""
+
+    __slots__ = ("setbound_uops", "meta_uops", "check_uops",
+                 "pointer_loads", "pointer_stores",
+                 "compressed_loads", "compressed_stores",
+                 "checks", "nonpointer_derefs")
+
+    def __init__(self):
+        self.setbound_uops = 0        # extra setbound instructions
+        self.meta_uops = 0            # µops for uncompressed metadata
+        self.check_uops = 0           # Section 5.4 check-as-µop ablation
+        self.pointer_loads = 0
+        self.pointer_stores = 0
+        self.compressed_loads = 0
+        self.compressed_stores = 0
+        self.checks = 0
+        self.nonpointer_derefs = 0    # unchecked accesses (malloc-only)
+
+    def extra_uops(self) -> int:
+        """Total µops beyond the instruction stream."""
+        return self.meta_uops + self.check_uops
+
+    def compression_ratio(self) -> float:
+        """Fraction of pointer memory traffic that compressed."""
+        total = (self.pointer_loads + self.pointer_stores)
+        if not total:
+            return 1.0
+        return (self.compressed_loads + self.compressed_stores) / total
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class HardBoundEngine:
+    """Hardware metadata machinery attached to a CPU."""
+
+    def __init__(self, encoding: Encoding,
+                 memsys: Optional[MemorySystem] = None,
+                 check_uop: bool = False,
+                 check_access_extent: bool = False):
+        self.encoding = encoding
+        self.memsys = memsys
+        self.check_uop = check_uop
+        self.check_access_extent = check_access_extent
+        self.meta = MetadataStore()
+        self.stats = HardBoundStats()
+
+    # -- checking (Figure 3C/D) ---------------------------------------------
+
+    def check(self, value: int, base: int, bound: int, ea: int,
+              size: int, access: str, full_mode: bool) -> int:
+        """Implicit bounds check; returns extra µops consumed.
+
+        ``full_mode`` selects between Figure 3C's non-pointer
+        exception and the malloc-only mode of footnote 2 (accesses
+        without bounds information are not checked).
+        """
+        if base == 0 and bound == 0:
+            if full_mode:
+                raise NonPointerError(value, access)
+            self.stats.nonpointer_derefs += 1
+            return 0
+        self.stats.checks += 1
+        if ea < base or ea >= bound:
+            raise BoundsError(ea, base, bound, access)
+        if self.check_access_extent and ea + size > bound:
+            raise BoundsError(ea, base, bound, access)
+        if self.check_uop and \
+                not self.encoding.is_compressible(value, base, bound):
+            self.stats.check_uops += 1
+            return 1
+        return 0
+
+    # -- metadata movement (Figure 3C/D, Section 4.4) ----------------------------
+
+    def load_word_meta(self, addr: int, value: int) -> Tuple[int, int]:
+        """Metadata for a word loaded from ``addr``; charges timing.
+
+        The tag space is probed for every load; only an uncompressed
+        pointer needs the additional shadow-space double word, which
+        costs one extra µop (Section 5.1).
+        """
+        self._tag_access(addr, write=False)
+        meta = self.meta.lookup(addr)
+        if meta is None:
+            return 0, 0
+        base, bound = meta
+        self.stats.pointer_loads += 1
+        if self.encoding.is_compressible(value, base, bound):
+            self.stats.compressed_loads += 1
+        else:
+            self.stats.meta_uops += 1
+            self._shadow_access(addr, write=False)
+        return base, bound
+
+    def load_sub_meta(self, addr: int) -> None:
+        """Tag probe for a sub-word load (result is a non-pointer)."""
+        self._tag_access(addr, write=False)
+
+    def store_word_meta(self, addr: int, value: int, base: int,
+                        bound: int) -> None:
+        """Record metadata for a word stored to ``addr``; charge timing."""
+        self._tag_access(addr, write=True)
+        if base == 0 and bound == 0:
+            self.meta.clear(addr)
+            return
+        self.meta.set_pointer(addr, base, bound)
+        self.stats.pointer_stores += 1
+        if self.encoding.is_compressible(value, base, bound):
+            self.stats.compressed_stores += 1
+        else:
+            self.stats.meta_uops += 1
+            self._shadow_access(addr, write=True)
+
+    def store_sub_meta(self, addr: int) -> None:
+        """A sub-word store destroys any pointer in the covering word."""
+        self._tag_access(addr, write=True)
+        self.meta.clear(addr)
+
+    # -- timing helpers -----------------------------------------------------------
+
+    def _tag_access(self, addr: int, write: bool) -> None:
+        if self.memsys is not None:
+            self.memsys.access(self.encoding.tag_addr(addr), 1, write,
+                               "tag")
+
+    def _shadow_access(self, addr: int, write: bool) -> None:
+        if self.memsys is not None:
+            # interleaved base/bound: one double-word access
+            self.memsys.access(shadow_base_addr(addr), 2 * WORD, write,
+                               "shadow")

@@ -1,0 +1,80 @@
+"""Temporal-safety extension (Section 6.2).
+
+HardBound proper addresses only *spatial* safety; Section 6.2 notes
+that the paper's per-word metadata makes Purify/MemTracker-style
+allocated/unallocated tracking "a natural extension".  This module
+implements that extension:
+
+* a ``markfree`` instruction (a non-privileged hint, like
+  ``setbound``) tells the hardware a bounded region is dead: the
+  instrumented ``free`` executes ``markfree`` on a pointer whose
+  bounds cover the chunk's user words (minus the allocator's own
+  free-list link, which stays live);
+* the tracker records freed words; ``setbound`` re-arms them when the
+  allocator reuses the chunk;
+* a load or store to a freed word raises
+  :class:`~repro.machine.errors.UseAfterFreeError`; freeing an
+  already-freed region raises
+  :class:`~repro.machine.errors.DoubleFreeError`.
+
+Like the rest of HardBound, detection is exact for heap objects that
+go through the instrumented allocator and silent for everything else
+— this is the tracking-bit design of the papers cited in §6.2, not a
+garbage collector.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.layout import WORD
+from repro.machine.errors import DoubleFreeError, UseAfterFreeError
+
+
+class TemporalTracker:
+    """Word-granular freed-region tracking."""
+
+    __slots__ = ("_freed", "frees", "reuses", "checks")
+
+    def __init__(self):
+        self._freed: Set[int] = set()
+        self.frees = 0
+        self.reuses = 0
+        self.checks = 0
+
+    @staticmethod
+    def _words(base: int, bound: int):
+        return range(base & ~(WORD - 1), bound, WORD)
+
+    def mark_allocated(self, base: int, bound: int) -> None:
+        """A ``setbound`` re-arms any freed words it covers."""
+        if not self._freed:
+            return
+        for addr in self._words(base, bound):
+            if addr in self._freed:
+                self._freed.discard(addr)
+                self.reuses += 1
+
+    def mark_freed(self, base: int, bound: int) -> None:
+        """A ``markfree`` poisons the covered words.
+
+        Raises :class:`DoubleFreeError` when the region is already
+        entirely dead (the signature of a double ``free``).
+        """
+        words = list(self._words(base, bound))
+        if words and all(addr in self._freed for addr in words):
+            raise DoubleFreeError(base)
+        self.frees += 1
+        self._freed.update(words)
+
+    def check(self, addr: int, size: int) -> None:
+        """Trap if [addr, addr+size) touches a freed word."""
+        self.checks += 1
+        first = addr & ~(WORD - 1)
+        last = (addr + size - 1) & ~(WORD - 1)
+        if first in self._freed or (last != first and
+                                    last in self._freed):
+            raise UseAfterFreeError(addr)
+
+    def freed_words(self) -> int:
+        return len(self._freed)

@@ -1,0 +1,35 @@
+"""Experiment harness: violation corpus, runners and figure tables."""
+
+from repro.harness.violations import (
+    ViolationCase,
+    generate_corpus,
+    run_corpus,
+    CorpusResult,
+)
+from repro.harness.runner import (
+    BenchmarkRun,
+    run_workload,
+    run_benchmark_matrix,
+)
+from repro.harness.figures import (
+    figure5_table,
+    figure6_table,
+    figure7_table,
+    check_uop_ablation_table,
+    format_table,
+)
+
+__all__ = [
+    "ViolationCase",
+    "generate_corpus",
+    "run_corpus",
+    "CorpusResult",
+    "BenchmarkRun",
+    "run_workload",
+    "run_benchmark_matrix",
+    "figure5_table",
+    "figure6_table",
+    "figure7_table",
+    "check_uop_ablation_table",
+    "format_table",
+]

@@ -1,0 +1,116 @@
+"""Benchmark runner: compile-once/run-many over the Olden matrix."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.baselines.fatptr import SETBOUND_EXTRA_UOPS, ccured_sim_config
+from repro.baselines.objtable import ObjectTableModel
+from repro.caches.hierarchy import CacheParams
+from repro.isa.program import Program
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import CPU, RunResult
+from repro.minic.codegen import InstrumentMode
+from repro.minic.driver import compile_program, mode_for_config
+from repro.workloads.registry import WORKLOADS, Workload
+
+#: the three encodings of Figure 5, in bar order
+ENCODINGS = ("extern4", "intern4", "intern11")
+
+_program_cache: Dict[tuple, Program] = {}
+
+
+def compile_cached(source: str, mode: InstrumentMode) -> Program:
+    """Compile with memoization (programs are reusable across runs)."""
+    key = (hash(source), mode)
+    if key not in _program_cache:
+        _program_cache[key] = compile_program(source, mode)
+    return _program_cache[key]
+
+
+def run_workload(workload, config: MachineConfig,
+                 cache_params: Optional[CacheParams] = None,
+                 observer=None) -> RunResult:
+    """Run one workload (by name or object) under a configuration."""
+    if isinstance(workload, str):
+        workload = WORKLOADS[workload]
+    program = compile_cached(workload.source, mode_for_config(config))
+    cpu = CPU(program, config, cache_params)
+    if observer is not None:
+        cpu.observer = observer
+    return cpu.run()
+
+
+class BenchmarkRun:
+    """All measurements for one workload (Figures 5-7 inputs)."""
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        self.name = workload.name
+        self.base: Optional[RunResult] = None
+        self.encodings: Dict[str, RunResult] = {}
+        self.ccured: Optional[RunResult] = None
+        self.objtable: Optional[ObjectTableModel] = None
+
+    # -- derived metrics ----------------------------------------------------
+
+    def overhead(self, encoding: str) -> float:
+        """Relative runtime of an encoding vs. the plain baseline."""
+        return self.encodings[encoding].cycles / self.base.cycles
+
+    def ccured_uop_overhead(self) -> float:
+        run = self.ccured
+        uops = run.uops + SETBOUND_EXTRA_UOPS * run.setbound_uops
+        return uops / self.base.uops
+
+    def ccured_runtime_overhead(self) -> float:
+        run = self.ccured
+        cycles = run.cycles + SETBOUND_EXTRA_UOPS * run.setbound_uops
+        return cycles / self.base.cycles
+
+    def objtable_runtime_overhead(self) -> float:
+        return (self.base.cycles + self.objtable.extra_uops) \
+            / self.base.cycles
+
+    def page_overhead(self, encoding: str) -> Dict[str, float]:
+        """Figure 6: extra distinct pages, split by metadata kind."""
+        stats = self.encodings[encoding].mem_stats
+        base_pages = self.base.mem_stats.distinct_pages("data")
+        return {
+            "base_pages": base_pages,
+            "tag": stats.distinct_pages("tag") / base_pages,
+            "shadow": stats.distinct_pages("shadow") / base_pages,
+            "total": (stats.distinct_pages("tag")
+                      + stats.distinct_pages("shadow")) / base_pages,
+        }
+
+
+def run_benchmark_matrix(
+        workloads: Optional[Iterable[str]] = None,
+        encodings: Iterable[str] = ENCODINGS,
+        with_baselines: bool = True,
+        timing: bool = True) -> Dict[str, BenchmarkRun]:
+    """Run the full measurement matrix of Section 5.
+
+    Per workload: a plain-core baseline, one HardBound run per
+    encoding and (optionally) the CCured-simulation and object-table
+    baselines.  Returns runs keyed by workload name.
+    """
+    names = list(workloads) if workloads is not None else list(WORKLOADS)
+    matrix: Dict[str, BenchmarkRun] = {}
+    for name in names:
+        wl = WORKLOADS[name]
+        bench = BenchmarkRun(wl)
+        bench.base = run_workload(wl, MachineConfig.plain(timing=timing))
+        for encoding in encodings:
+            bench.encodings[encoding] = run_workload(
+                wl, MachineConfig.hardbound(encoding=encoding,
+                                            timing=timing))
+        if with_baselines:
+            bench.ccured = run_workload(wl, ccured_sim_config(timing))
+            model = ObjectTableModel()
+            run_workload(wl, MachineConfig.hardbound(timing=False),
+                         observer=model)
+            bench.objtable = model
+        matrix[name] = bench
+    return matrix

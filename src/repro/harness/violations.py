@@ -1,0 +1,271 @@
+"""Spatial-violation test corpus (Section 5.2).
+
+The paper validates HardBound against 291 test pairs from the
+Kratkiewicz & Lippmann buffer-overflow corpus (286 ran; each pair has
+a violating and a non-violating variant).  That corpus is not
+redistributable here, so we generate an equivalent cross-product over
+exactly the dimensions the paper enumerates: "reads and writes; upper
+and lower bounds; stack, heap, and global data segments; and various
+addressing schemes and aliasing situations".
+
+Dimensions (2 x 2 x 3 x 3 x 8 = 288 pairs):
+
+* access:     read | write
+* bound:      upper | lower
+* region:     stack | heap | global
+* container:  char array | int array | char array inside a struct
+              (sub-object, detectable only with narrowed bounds)
+* addressing: constant index, variable index, pointer arithmetic,
+              loop walk, pointer passed to a callee (aliasing) —
+              the first three at two overflow magnitudes
+              (off-by-one and far), the last two at off-by-one.
+
+Every violating variant must trap with a spatial-safety exception;
+every non-violating variant must run to completion — zero false
+positives, as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.machine.errors import (
+    BoundsError,
+    MemoryFault,
+    NonPointerError,
+    Trap,
+)
+from repro.minic.driver import compile_and_run
+
+#: elements per test buffer; char buffers use a non-multiple-of-4
+#: length so byte-granular bounds are exercised
+CHAR_LEN = 6
+INT_LEN = 5
+
+#: minimal self-contained runtime (keeps corpus compiles fast)
+_RUNTIME = """
+void *vmalloc(int n) {
+    return __setbound(sbrk(n), n);
+}
+"""
+
+ACCESSES = ("read", "write")
+BOUNDS = ("upper", "lower")
+REGIONS = ("stack", "heap", "global")
+CONTAINERS = ("char_array", "int_array", "struct_member")
+ADDRESSING = ("const_index", "var_index", "ptr_arith",
+              "loop_walk", "func_arg")
+#: magnitudes per addressing mode (paper: small and large overflows)
+MAGNITUDES = {
+    "const_index": ("one", "far"),
+    "var_index": ("one", "far"),
+    "ptr_arith": ("one", "far"),
+    "loop_walk": ("one",),
+    "func_arg": ("one",),
+}
+_FAR = 7
+
+
+class ViolationCase:
+    """One generated test pair."""
+
+    def __init__(self, access: str, bound: str, region: str,
+                 container: str, addressing: str, magnitude: str):
+        self.access = access
+        self.bound = bound
+        self.region = region
+        self.container = container
+        self.addressing = addressing
+        self.magnitude = magnitude
+        self.name = "-".join((access, bound, region, container,
+                              addressing, magnitude))
+        self.bad_source = self._source(violate=True)
+        self.ok_source = self._source(violate=False)
+
+    # -- source construction ------------------------------------------------
+
+    def _elem(self) -> Tuple[str, int]:
+        if self.container == "int_array":
+            return "int", INT_LEN
+        return "char", CHAR_LEN
+
+    def _target_index(self, violate: bool, length: int) -> int:
+        if not violate:
+            return length - 1 if self.bound == "upper" else 0
+        delta = 0 if self.magnitude == "one" else _FAR
+        if self.bound == "upper":
+            return length + delta
+        return -1 - delta
+
+    def _globals(self, ctype: str, length: int) -> str:
+        if self.region != "global":
+            return ""
+        if self.container == "struct_member":
+            return ("struct wrap { char pre[4]; %s buf[%d]; int post; };\n"
+                    "struct wrap g_w;\n" % (ctype, length))
+        return "%s g_arr[%d];\n" % (ctype, length)
+
+    def _setup(self, ctype: str, length: int) -> str:
+        container = self.container
+        region = self.region
+        if container == "struct_member":
+            struct_def = "" if region == "global" else \
+                ("struct wrap { char pre[4]; %s buf[%d]; int post; };\n"
+                 % (ctype, length))
+            if region == "stack":
+                body = ("    struct wrap w;\n"
+                        "    %s *buf = w.buf;\n" % ctype)
+            elif region == "heap":
+                body = ("    struct wrap *w = (struct wrap*)"
+                        "vmalloc(sizeof(struct wrap));\n"
+                        "    %s *buf = w->buf;\n" % ctype)
+            else:
+                body = "    %s *buf = g_w.buf;\n" % ctype
+            return struct_def, body
+        if region == "stack":
+            return "", ("    %s a[%d];\n    %s *buf = a;\n"
+                        % (ctype, length, ctype))
+        if region == "heap":
+            return "", ("    %s *buf = (%s*)vmalloc(%d * sizeof(%s));\n"
+                        % (ctype, ctype, length, ctype))
+        return "", "    %s *buf = g_arr;\n" % ctype
+
+    def _helpers(self, ctype: str) -> str:
+        if self.addressing != "func_arg":
+            return ""
+        if self.access == "read":
+            return ("int probe(%s *p, int i) { return (int)p[i]; }\n"
+                    % ctype)
+        return ("void probe(%s *p, int i) { p[i] = (%s)1; }\n"
+                % (ctype, ctype))
+
+    def _access_code(self, ctype: str, length: int, idx: int) -> str:
+        read = self.access == "read"
+        if self.addressing == "const_index":
+            return ("    sink += (int)buf[%d];\n" % idx if read
+                    else "    buf[%d] = (%s)1;\n" % (idx, ctype))
+        if self.addressing == "var_index":
+            code = "    int i = %d;\n" % idx
+            return code + ("    sink += (int)buf[i];\n" if read
+                           else "    buf[i] = (%s)1;\n" % ctype)
+        if self.addressing == "ptr_arith":
+            code = "    %s *p = buf + %d;\n" % (ctype, idx)
+            return code + ("    sink += (int)*p;\n" if read
+                           else "    *p = (%s)1;\n" % ctype)
+        if self.addressing == "func_arg":
+            return ("    sink += probe(buf, %d);\n" % idx if read
+                    else "    probe(buf, %d);\n" % idx)
+        # loop_walk: dereference every element on the way to idx
+        if self.bound == "upper":
+            loop = ("    for (int i = 0; i <= %d; i++) {\n" % idx)
+        else:
+            loop = ("    for (int i = %d; i >= %d; i--) {\n"
+                    % (length - 1, idx))
+        body = ("        sink += (int)buf[i];\n" if read
+                else "        buf[i] = (%s)1;\n" % ctype)
+        return loop + body + "    }\n"
+
+    def _source(self, violate: bool) -> str:
+        ctype, length = self._elem()
+        idx = self._target_index(violate, length)
+        struct_def, setup = "", ""
+        if self.container == "struct_member":
+            struct_def, setup = self._setup(ctype, length)
+        else:
+            _unused, setup = self._setup(ctype, length)
+        parts = [_RUNTIME, struct_def,
+                 self._globals(ctype, length),
+                 self._helpers(ctype),
+                 "int main() {\n",
+                 setup,
+                 "    int sink = 0;\n",
+                 self._access_code(ctype, length, idx),
+                 "    return sink & 1;\n",
+                 "}\n"]
+        return "".join(parts)
+
+    def __repr__(self):
+        return "<ViolationCase %s>" % self.name
+
+
+def generate_corpus() -> List[ViolationCase]:
+    """All 288 test pairs, deterministic order."""
+    cases = []
+    for access, bound, region, container, addressing in \
+            itertools.product(ACCESSES, BOUNDS, REGIONS, CONTAINERS,
+                              ADDRESSING):
+        for magnitude in MAGNITUDES[addressing]:
+            cases.append(ViolationCase(access, bound, region,
+                                       container, addressing, magnitude))
+    return cases
+
+
+class CorpusResult:
+    """Aggregate outcome of running the corpus."""
+
+    def __init__(self):
+        self.total = 0
+        self.detected = 0
+        self.missed: List[str] = []
+        self.false_positives: List[str] = []
+        self.errors: List[Tuple[str, str]] = []
+
+    @property
+    def clean(self) -> bool:
+        return (not self.missed and not self.false_positives
+                and not self.errors)
+
+    def summary(self) -> str:
+        return ("%d pairs: %d violations detected, %d missed, "
+                "%d false positives, %d errors"
+                % (self.total, self.detected, len(self.missed),
+                   len(self.false_positives), len(self.errors)))
+
+
+def run_case(case: ViolationCase,
+             config: MachineConfig) -> Tuple[bool, bool, Optional[str]]:
+    """Run one pair; returns (detected, false_positive, error)."""
+    detected = False
+    false_positive = False
+    error = None
+    try:
+        compile_and_run(case.bad_source, config, include_stdlib=False)
+    except (BoundsError, NonPointerError, MemoryFault):
+        detected = True
+    except Trap as trap:
+        error = "bad variant raised unexpected trap: %s" % trap
+    except Exception as exc:  # compile errors etc.
+        error = "bad variant failed: %s" % exc
+    try:
+        compile_and_run(case.ok_source, config, include_stdlib=False)
+    except Trap as trap:
+        false_positive = True
+        error = error or "ok variant trapped: %s" % trap
+    except Exception as exc:
+        error = error or "ok variant failed: %s" % exc
+    return detected, false_positive, error
+
+
+def run_corpus(config: Optional[MachineConfig] = None,
+               cases: Optional[List[ViolationCase]] = None,
+               progress: bool = False) -> CorpusResult:
+    """Run the corpus under ``config`` (default: full HardBound)."""
+    config = config or MachineConfig.hardbound(timing=False)
+    cases = cases if cases is not None else generate_corpus()
+    result = CorpusResult()
+    for i, case in enumerate(cases):
+        detected, false_positive, error = run_case(case, config)
+        result.total += 1
+        if detected:
+            result.detected += 1
+        else:
+            result.missed.append(case.name)
+        if false_positive:
+            result.false_positives.append(case.name)
+        if error:
+            result.errors.append((case.name, error))
+        if progress and (i + 1) % 48 == 0:
+            print("  ... %d/%d pairs" % (i + 1, len(cases)))
+    return result

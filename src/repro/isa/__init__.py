@@ -1,0 +1,37 @@
+"""Instruction-set architecture for the HardBound reproduction.
+
+The ISA is a 32-bit, byte-addressable, load/store architecture with
+x86-flavoured addressing modes (``base + index*scale + disp``) so that
+the bounds-propagation rules of the paper's Figure 3 (which are stated
+for x86 ``add``/``lea``/``mov``/memory operations) map one-to-one onto
+our instructions.  Every instruction is a single micro-operation on the
+simulated in-order core, matching the paper's PTLSim-derived µop
+accounting (Section 5.1).
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Instruction` — the decoded form.
+* :class:`~repro.isa.opcodes.Op` — the opcode enumeration.
+* :func:`~repro.isa.assembler.assemble` — text assembler.
+* :class:`~repro.isa.program.Program` — linked code + data image.
+* :func:`~repro.isa.disasm.disassemble` — one-instruction printer.
+"""
+
+from repro.isa.opcodes import Op, REG_NAMES, REG_ALIASES, NUM_REGS
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, DataItem
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "Op",
+    "REG_NAMES",
+    "REG_ALIASES",
+    "NUM_REGS",
+    "Instruction",
+    "Program",
+    "DataItem",
+    "assemble",
+    "AssemblerError",
+    "disassemble",
+]

@@ -1,0 +1,509 @@
+"""Two-pass text assembler for the simulated ISA.
+
+Syntax overview (see ``tests/isa/test_assembler.py`` for examples)::
+
+    ; comment            # comment
+        .text
+    main:
+        mov   r1, 0x1000
+        mov   r2, =buf          ; address of a data symbol
+        setbound r2, r2, 16
+        load  r3, [r2 + r1*4 + 8]
+        storeb [r2 + 1], r3
+        push  r3                ; pseudo: sub sp,sp,4 ; store [sp], r3
+        beqz  r3, done
+        call  helper
+    done:
+        halt  0
+        .data
+    buf:    .space 16
+    msg:    .asciiz "hi"
+    tbl:    .word 1, 2, -3
+
+Loads/stores come in three widths: ``load``/``store`` (word),
+``loadh``/``storeh`` (halfword) and ``loadb``/``storeb`` (byte, zero
+extending).  ``=sym`` immediates resolve to ``GLOBAL_BASE + offset``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, reg_index
+from repro.isa.program import DataItem, Program
+from repro.layout import GLOBAL_BASE, WORD
+
+
+class AssemblerError(Exception):
+    """Raised with file/line context on any assembly problem."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None,
+                 line: str = ""):
+        if line_no is not None:
+            message = "line %d: %s  [%s]" % (line_no, message, line.strip())
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_RE = re.compile(r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"          # string literal
+      | '(?:[^'\\]|\\.)'           # char literal
+      | \[[^\]]*\]                 # memory operand
+      | =[\w.$]+                   # address-of immediate
+      | [\w.$-]+                   # bare token (number, reg, label)
+    )\s*,?
+""", re.VERBOSE)
+
+#: ALU mnemonics mapping directly to an opcode with rd, rs, rt|imm.
+_ALU3 = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "mod": Op.MOD, "and": Op.AND, "or": Op.OR, "xor": Op.XOR,
+    "shl": Op.SHL, "shr": Op.SHR, "sra": Op.SRA,
+    "seq": Op.SEQ, "sne": Op.SNE, "slt": Op.SLT, "sle": Op.SLE,
+    "sgt": Op.SGT, "sge": Op.SGE, "sltu": Op.SLTU, "sgeu": Op.SGEU,
+}
+
+#: Two-operand mnemonics with rd, rs.
+_ALU2 = {
+    "neg": Op.NEG, "not": Op.NOT, "xchg": Op.XCHG,
+    "readbase": Op.READBASE, "readbound": Op.READBOUND,
+    "setunsafe": Op.SETUNSAFE, "clrbnd": Op.CLRBND,
+}
+
+_LOADS = {"load": 4, "loadh": 2, "loadb": 1}
+_STORES = {"store": 4, "storeh": 2, "storeb": 1}
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\",
+            '"': '"', "'": "'", "r": "\r"}
+
+
+def _unescape(body: str) -> str:
+    out, i = [], 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class _Assembler:
+    """Internal two-pass state machine; use :func:`assemble`."""
+
+    def __init__(self, source: str, name: str = "<asm>"):
+        self.source = source
+        self.name = name
+        self.instrs: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.data = bytearray()
+        self.data_symbols: Dict[str, DataItem] = {}
+        self.fixups: List[Tuple[Instruction, str, int, str]] = []
+        self.section = "text"
+        self.pending_data_label: Optional[str] = None
+
+    # -- operand parsing ---------------------------------------------------
+
+    def parse_int(self, tok: str, line_no: int, line: str) -> int:
+        tok = tok.strip()
+        if len(tok) >= 3 and tok[0] == "'" and tok[-1] == "'":
+            body = _unescape(tok[1:-1])
+            if len(body) != 1:
+                raise AssemblerError("bad char literal %s" % tok,
+                                     line_no, line)
+            return ord(body)
+        try:
+            return int(tok, 0)
+        except ValueError:
+            raise AssemblerError("bad integer %r" % tok, line_no, line)
+
+    def try_reg(self, tok: str) -> Optional[int]:
+        try:
+            return reg_index(tok)
+        except KeyError:
+            return None
+
+    def reg(self, tok: str, line_no: int, line: str) -> int:
+        idx = self.try_reg(tok)
+        if idx is None:
+            raise AssemblerError("expected register, got %r" % tok,
+                                 line_no, line)
+        return idx
+
+    def imm_or_symbol(self, tok: str, line_no: int, line: str) -> int:
+        """Immediate: integer, char literal, or ``=symbol`` address."""
+        if tok.startswith("="):
+            sym = tok[1:]
+            if sym not in self.data_symbols:
+                raise AssemblerError("unknown data symbol %r" % sym,
+                                     line_no, line)
+            return GLOBAL_BASE + self.data_symbols[sym].offset
+        return self.parse_int(tok, line_no, line)
+
+    def parse_mem(self, tok: str, line_no: int,
+                  line: str) -> Tuple[Optional[int], Optional[int], int, int]:
+        """Parse ``[base + index*scale + disp]`` -> (rs, rt, scale, disp).
+
+        Either register may be absent; ``disp`` may be a data symbol.
+        """
+        if not (tok.startswith("[") and tok.endswith("]")):
+            raise AssemblerError("expected memory operand, got %r" % tok,
+                                 line_no, line)
+        inner = tok[1:-1].strip()
+        # normalise "a - b" into "a + -b"
+        inner = re.sub(r"\s*-\s*", " + -", inner)
+        base = index = None
+        scale, disp = 1, 0
+        if not inner:
+            raise AssemblerError("empty memory operand", line_no, line)
+        for part in (p.strip() for p in inner.split("+")):
+            if not part:
+                continue
+            if "*" in part:
+                rname, sc = (x.strip() for x in part.split("*", 1))
+                if index is not None:
+                    raise AssemblerError("two index registers", line_no, line)
+                index = self.reg(rname, line_no, line)
+                scale = self.parse_int(sc, line_no, line)
+                if scale not in (1, 2, 4, 8):
+                    raise AssemblerError("scale must be 1/2/4/8",
+                                         line_no, line)
+                continue
+            ridx = self.try_reg(part)
+            if ridx is not None:
+                if base is None:
+                    base = ridx
+                elif index is None:
+                    index = ridx
+                else:
+                    raise AssemblerError("three registers in operand",
+                                         line_no, line)
+                continue
+            neg = part.startswith("-")
+            body = part[1:] if neg else part
+            if body.startswith("="):
+                value = self.imm_or_symbol(body, line_no, line)
+            elif body[:1].isdigit() or body[:1] == "'":
+                value = self.parse_int(body, line_no, line)
+            elif body in self.data_symbols:
+                value = GLOBAL_BASE + self.data_symbols[body].offset
+            else:
+                raise AssemblerError("bad operand term %r" % part,
+                                     line_no, line)
+            disp += -value if neg else value
+        return base, index, scale, disp
+
+    # -- emit helpers ------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> None:
+        self.instrs.append(instr)
+
+    def branch(self, op: Op, label: str, line_no: int, line: str,
+               rs: Optional[int] = None) -> None:
+        instr = Instruction(op, rs=rs, label=label)
+        self.fixups.append((instr, label, line_no, line))
+        self.emit(instr)
+
+    # -- directive handling ---------------------------------------------------
+
+    def handle_data_directive(self, mnem: str, operands: List[str],
+                              line_no: int, line: str) -> None:
+        start = len(self.data)
+        if mnem == ".word":
+            for tok in operands:
+                value = self.imm_or_symbol(tok, line_no, line) & 0xFFFFFFFF
+                self.data += value.to_bytes(4, "little")
+        elif mnem == ".byte":
+            for tok in operands:
+                value = self.parse_int(tok, line_no, line) & 0xFF
+                self.data.append(value)
+        elif mnem == ".asciiz":
+            if len(operands) != 1 or not operands[0].startswith('"'):
+                raise AssemblerError(".asciiz needs one string",
+                                     line_no, line)
+            text = _unescape(operands[0][1:-1])
+            self.data += text.encode("latin-1") + b"\0"
+        elif mnem == ".space":
+            if len(operands) != 1:
+                raise AssemblerError(".space needs a size", line_no, line)
+            self.data += bytes(self.parse_int(operands[0], line_no, line))
+        elif mnem == ".align":
+            align = self.parse_int(operands[0], line_no, line) \
+                if operands else WORD
+            while len(self.data) % align:
+                self.data.append(0)
+            return  # alignment padding never consumes a pending label
+        else:
+            raise AssemblerError("unknown directive %r" % mnem,
+                                 line_no, line)
+        if self.pending_data_label is not None:
+            item = self.data_symbols[self.pending_data_label]
+            item.size = len(self.data) - item.offset
+            item.initial = bytes(self.data[item.offset:])
+            self.pending_data_label = None
+        elif start != len(self.data):
+            pass  # anonymous data is allowed
+
+    # -- instruction handling ---------------------------------------------
+
+    def handle_instruction(self, mnem: str, ops: List[str],
+                           line_no: int, line: str) -> None:
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    "%s expects %d operand(s), got %d" % (mnem, n, len(ops)),
+                    line_no, line)
+
+        if mnem in _ALU3:
+            need(3)
+            rd = self.reg(ops[0], line_no, line)
+            rs = self.reg(ops[1], line_no, line)
+            rt = self.try_reg(ops[2])
+            if rt is not None:
+                self.emit(Instruction(_ALU3[mnem], rd=rd, rs=rs, rt=rt))
+            else:
+                imm = self.imm_or_symbol(ops[2], line_no, line)
+                self.emit(Instruction(_ALU3[mnem], rd=rd, rs=rs, imm=imm))
+        elif mnem in _ALU2:
+            need(2)
+            rd = self.reg(ops[0], line_no, line)
+            rs = self.reg(ops[1], line_no, line)
+            self.emit(Instruction(_ALU2[mnem], rd=rd, rs=rs))
+        elif mnem == "mov":
+            need(2)
+            rd = self.reg(ops[0], line_no, line)
+            rs = self.try_reg(ops[1])
+            if rs is not None:
+                self.emit(Instruction(Op.MOV, rd=rd, rs=rs))
+            else:
+                imm = self.imm_or_symbol(ops[1], line_no, line)
+                self.emit(Instruction(Op.MOV, rd=rd, imm=imm))
+        elif mnem == "lea":
+            need(2)
+            rd = self.reg(ops[0], line_no, line)
+            rs, rt, scale, disp = self.parse_mem(ops[1], line_no, line)
+            self.emit(Instruction(Op.LEA, rd=rd, rs=rs, rt=rt,
+                                  scale=scale, disp=disp))
+        elif mnem in _LOADS:
+            need(2)
+            rd = self.reg(ops[0], line_no, line)
+            rs, rt, scale, disp = self.parse_mem(ops[1], line_no, line)
+            self.emit(Instruction(Op.LOAD, rd=rd, rs=rs, rt=rt, scale=scale,
+                                  disp=disp, size=_LOADS[mnem]))
+        elif mnem in _STORES:
+            need(2)
+            rs, rt, scale, disp = self.parse_mem(ops[0], line_no, line)
+            rd = self.reg(ops[1], line_no, line)
+            self.emit(Instruction(Op.STORE, rd=rd, rs=rs, rt=rt, scale=scale,
+                                  disp=disp, size=_STORES[mnem]))
+        elif mnem == "setbound":
+            need(3)
+            rd = self.reg(ops[0], line_no, line)
+            rs = self.reg(ops[1], line_no, line)
+            rt = self.try_reg(ops[2])
+            if rt is not None:
+                self.emit(Instruction(Op.SETBOUND, rd=rd, rs=rs, rt=rt))
+            else:
+                imm = self.imm_or_symbol(ops[2], line_no, line)
+                self.emit(Instruction(Op.SETBOUND, rd=rd, rs=rs, imm=imm))
+        elif mnem == "setcode":
+            need(2)
+            rd = self.reg(ops[0], line_no, line)
+            rs = self.try_reg(ops[1])
+            if rs is not None:
+                self.emit(Instruction(Op.SETCODE, rd=rd, rs=rs))
+            else:
+                self.branch(Op.SETCODE, ops[1], line_no, line)
+                self.instrs[-1].rd = rd
+        elif mnem == "jmp":
+            need(1)
+            self.branch(Op.JMP, ops[0], line_no, line)
+        elif mnem in ("beqz", "bnez"):
+            need(2)
+            rs = self.reg(ops[0], line_no, line)
+            self.branch(Op.BEQZ if mnem == "beqz" else Op.BNEZ,
+                        ops[1], line_no, line, rs=rs)
+        elif mnem == "call":
+            need(1)
+            rs = self.try_reg(ops[0])
+            if rs is not None:
+                self.emit(Instruction(Op.CALLR, rs=rs))
+            else:
+                self.branch(Op.CALL, ops[0], line_no, line)
+        elif mnem == "callr":
+            need(1)
+            self.emit(Instruction(Op.CALLR,
+                                  rs=self.reg(ops[0], line_no, line)))
+        elif mnem == "ret":
+            need(0)
+            self.emit(Instruction(Op.RET))
+        elif mnem == "markfree":
+            need(2)
+            rs = self.reg(ops[0], line_no, line)
+            rt = self.try_reg(ops[1])
+            if rt is not None:
+                self.emit(Instruction(Op.MARKFREE, rs=rs, rt=rt))
+            else:
+                imm = self.imm_or_symbol(ops[1], line_no, line)
+                self.emit(Instruction(Op.MARKFREE, rs=rs, imm=imm))
+        elif mnem in ("sbrk", "print", "printc", "prints"):
+            need(1)
+            op = {"sbrk": Op.SBRK, "print": Op.PRINT,
+                  "printc": Op.PRINTC, "prints": Op.PRINTS}[mnem]
+            rs = self.reg(ops[0], line_no, line)
+            rd = rs if mnem == "sbrk" else None
+            self.emit(Instruction(op, rd=rd, rs=rs))
+        elif mnem in ("halt", "abort"):
+            op = Op.HALT if mnem == "halt" else Op.ABORT
+            if ops:
+                rs = self.try_reg(ops[0])
+                if rs is not None:
+                    self.emit(Instruction(op, rs=rs))
+                else:
+                    imm = self.parse_int(ops[0], line_no, line)
+                    self.emit(Instruction(op, imm=imm))
+            else:
+                self.emit(Instruction(op, imm=0))
+        elif mnem == "push":
+            need(1)
+            rs = self.reg(ops[0], line_no, line)
+            self.emit(Instruction(Op.SUB, rd=13, rs=13, imm=WORD))
+            self.emit(Instruction(Op.STORE, rd=rs, rs=13, size=WORD))
+        elif mnem == "pop":
+            need(1)
+            rd = self.reg(ops[0], line_no, line)
+            self.emit(Instruction(Op.LOAD, rd=rd, rs=13, size=WORD))
+            self.emit(Instruction(Op.ADD, rd=13, rs=13, imm=WORD))
+        elif mnem == "nop":
+            need(0)
+            self.emit(Instruction(Op.MOV, rd=0, rs=0))
+        else:
+            raise AssemblerError("unknown mnemonic %r" % mnem,
+                                 line_no, line)
+
+    # -- driver ---------------------------------------------------------------
+
+    def collect_data_symbols(self) -> None:
+        """Pre-pass: lay out the data section so code can use ``=sym``."""
+        section = "text"
+        offset = 0
+        pending: Optional[str] = None
+        for raw in self.source.splitlines():
+            line = raw.split(";")[0].split("#")[0].rstrip()
+            stripped = line.strip()
+            if not stripped:
+                continue
+            m = _LABEL_RE.match(stripped)
+            if m:
+                label = m.group(1)
+                stripped = stripped[m.end():].strip()
+                if section == "data":
+                    pending = label
+                    self.data_symbols[label] = DataItem(label, offset, 0)
+                if not stripped:
+                    continue
+            if stripped.startswith(".text"):
+                section = "text"
+                continue
+            if stripped.startswith(".data"):
+                section = "data"
+                continue
+            if section != "data":
+                continue
+            parts = stripped.split(None, 1)
+            mnem = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            operands = [m.group(1) for m in _TOKEN_RE.finditer(rest)]
+            if mnem == ".align":
+                align = int(operands[0], 0) if operands else WORD
+                while offset % align:
+                    offset += 1
+                continue
+            size = _directive_size(mnem, operands)
+            if pending is not None:
+                self.data_symbols[pending].offset = offset
+                self.data_symbols[pending].size = size
+                pending = None
+            offset += size
+
+    def run(self) -> Program:
+        self.collect_data_symbols()
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].rstrip()
+            stripped = line.strip()
+            if not stripped:
+                continue
+            m = _LABEL_RE.match(stripped)
+            if m:
+                label = m.group(1)
+                if self.section == "text":
+                    if label in self.labels:
+                        raise AssemblerError("duplicate label %r" % label,
+                                             line_no, line)
+                    self.labels[label] = len(self.instrs)
+                else:
+                    self.pending_data_label = label
+                stripped = stripped[m.end():].strip()
+                if not stripped:
+                    continue
+            if stripped.startswith("."):
+                parts = stripped.split(None, 1)
+                mnem = parts[0]
+                rest = parts[1] if len(parts) > 1 else ""
+                operands = [mo.group(1) for mo in _TOKEN_RE.finditer(rest)]
+                if mnem == ".text":
+                    self.section = "text"
+                elif mnem == ".data":
+                    self.section = "data"
+                else:
+                    if self.section != "data":
+                        raise AssemblerError(
+                            "directive %s outside .data" % mnem,
+                            line_no, line)
+                    self.handle_data_directive(mnem, operands,
+                                               line_no, line)
+                continue
+            if self.section != "text":
+                raise AssemblerError("instruction in .data section",
+                                     line_no, line)
+            parts = stripped.split(None, 1)
+            mnem = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            operands = [mo.group(1) for mo in _TOKEN_RE.finditer(rest)]
+            self.handle_instruction(mnem, operands, line_no, line)
+        # link
+        for instr, label, line_no, line in self.fixups:
+            if label not in self.labels:
+                raise AssemblerError("undefined label %r" % label,
+                                     line_no, line)
+            instr.target = self.labels[label]
+            if instr.op is Op.SETCODE:
+                instr.imm = self.labels[label]
+        return Program(self.instrs, self.labels, bytes(self.data),
+                       self.data_symbols, source=self.source)
+
+
+def _directive_size(mnem: str, operands: List[str]) -> int:
+    """Size contribution of a data directive (pre-pass layout)."""
+    if mnem == ".word":
+        return 4 * len(operands)
+    if mnem == ".byte":
+        return len(operands)
+    if mnem == ".asciiz":
+        return len(_unescape(operands[0][1:-1])) + 1 if operands else 1
+    if mnem == ".space":
+        return int(operands[0], 0)
+    if mnem == ".align":
+        return 0  # approximated; the main pass emits real padding
+    return 0
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Assemble ``source`` text into a linked :class:`Program`."""
+    return _Assembler(source, name).run()

@@ -1,0 +1,65 @@
+"""Single-instruction disassembler (debugging and round-trip tests)."""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op, reg_name
+from repro.layout import to_signed
+
+_SIZE_SUFFIX = {1: "b", 2: "h", 4: ""}
+
+
+def disassemble(instr) -> str:
+    """Render ``instr`` back to assembler syntax.
+
+    The output re-assembles to an equal instruction (module branch
+    targets, which print as resolved indices via an ``@N`` comment).
+    """
+    op = instr.op
+    rd = reg_name(instr.rd) if instr.rd is not None else None
+    rs = reg_name(instr.rs) if instr.rs is not None else None
+    rt = reg_name(instr.rt) if instr.rt is not None else None
+
+    def src2():
+        return rt if rt is not None else str(to_signed(instr.imm or 0))
+
+    if op is Op.MOV:
+        return "mov %s, %s" % (rd, rs if rs is not None else
+                               str(to_signed(instr.imm or 0)))
+    if op in (Op.NEG, Op.NOT, Op.XCHG, Op.READBASE, Op.READBOUND,
+              Op.SETUNSAFE, Op.CLRBND):
+        return "%s %s, %s" % (op.value, rd, rs)
+    if op is Op.LEA:
+        return "lea %s, %s" % (rd, instr.mem_operand_str())
+    if op is Op.LOAD:
+        return "load%s %s, %s" % (_SIZE_SUFFIX[instr.size], rd,
+                                  instr.mem_operand_str())
+    if op is Op.STORE:
+        return "store%s %s, %s" % (_SIZE_SUFFIX[instr.size],
+                                   instr.mem_operand_str(), rd)
+    if op is Op.SETBOUND:
+        return "setbound %s, %s, %s" % (rd, rs, src2())
+    if op is Op.SETCODE:
+        if rs is not None:
+            return "setcode %s, %s" % (rd, rs)
+        return "setcode %s, %s" % (rd, instr.label or "@%d" % instr.target)
+    if op is Op.JMP:
+        return "jmp %s" % (instr.label or "@%d" % instr.target)
+    if op in (Op.BEQZ, Op.BNEZ):
+        return "%s %s, %s" % (op.value, rs,
+                              instr.label or "@%d" % instr.target)
+    if op is Op.CALL:
+        return "call %s" % (instr.label or "@%d" % instr.target)
+    if op is Op.CALLR:
+        return "callr %s" % rs
+    if op is Op.RET:
+        return "ret"
+    if op is Op.MARKFREE:
+        return "markfree %s, %s" % (rs, src2())
+    if op in (Op.SBRK, Op.PRINT, Op.PRINTC, Op.PRINTS):
+        return "%s %s" % (op.value, rs)
+    if op in (Op.HALT, Op.ABORT):
+        if rs is not None:
+            return "%s %s" % (op.value, rs)
+        return "%s %d" % (op.value, instr.imm or 0)
+    # generic three-operand ALU
+    return "%s %s, %s, %s" % (op.value, rd, rs, src2())

@@ -1,0 +1,132 @@
+"""Opcode definitions and register naming for the simulated ISA.
+
+The opcode set is deliberately small: a RISC-style register file with
+x86-flavoured memory operands.  HardBound-specific opcodes
+(``setbound``, ``readbase``, ``readbound``, ``setunsafe``, ``setcode``,
+``clrbnd``) follow Section 3.1 of the paper; everything else is the
+conventional substrate those primitives ride on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.Enum):
+    """Every opcode executable by the simulated core.
+
+    Naming convention: plain three-operand ALU ops take ``rd, rs, rt``
+    where ``rt`` may be replaced by an immediate; memory ops carry an
+    x86-style operand ``[rs + rt*scale + disp]``.
+    """
+
+    # --- data movement -------------------------------------------------
+    MOV = "mov"          # rd <- rs | imm        (propagates bounds, Fig 3)
+    LEA = "lea"          # rd <- effective addr  (propagates base reg bounds)
+    XCHG = "xchg"        # swap rd <-> rs, metadata included (Section 3.1)
+
+    # --- integer ALU (bounds-propagating per Fig 3A/B) -----------------
+    ADD = "add"
+    SUB = "sub"
+
+    # --- integer ALU (non-propagating, Section 3.1) ---------------------
+    MUL = "mul"
+    DIV = "div"          # signed; traps on divide-by-zero
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"          # logical
+    SRA = "sra"          # arithmetic
+    NEG = "neg"          # rd <- -rs
+    NOT = "not"          # rd <- ~rs
+
+    # --- comparisons (set rd to 0/1; non-propagating) -------------------
+    SEQ = "seq"
+    SNE = "sne"
+    SLT = "slt"          # signed
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+    SLTU = "sltu"        # unsigned (pointer comparisons)
+    SGEU = "sgeu"
+
+    # --- memory --------------------------------------------------------
+    LOAD = "load"        # rd <- Mem[ea]; size in .size (1, 2 or 4)
+    STORE = "store"      # Mem[ea] <- rd; size in .size
+
+    # --- control flow ----------------------------------------------------
+    JMP = "jmp"          # unconditional, target is an instruction index
+    BEQZ = "beqz"        # branch if rs.value == 0
+    BNEZ = "bnez"        # branch if rs.value != 0
+    CALL = "call"        # ra <- return pc (code-pointer metadata); jump
+    CALLR = "callr"      # indirect call through rs (checked, Section 6.1)
+    RET = "ret"          # pc <- ra.value
+
+    # --- HardBound primitives (Section 3.1 / 6.1) -----------------------
+    SETBOUND = "setbound"    # rd <- {rs.value; rs.value; rs.value+size}
+    READBASE = "readbase"    # rd <- rs.base   (plain integer)
+    READBOUND = "readbound"  # rd <- rs.bound  (plain integer)
+    SETUNSAFE = "setunsafe"  # rd <- {rs.value; 0; MAXINT}  escape hatch
+    SETCODE = "setcode"      # rd <- {rs|imm; MAXINT; MAXINT} code pointer
+    CLRBND = "clrbnd"        # rd <- {rs.value; 0; 0}  strip metadata
+    MARKFREE = "markfree"    # deallocation hint: poison
+    #                          [rs.value, rs.value + size), where size
+    #                          is rt or an immediate (temporal
+    #                          extension, Section 6.2)
+
+    # --- environment calls ------------------------------------------------
+    SBRK = "sbrk"        # rd <- old program break; extend heap by rs bytes
+    PRINT = "print"      # print rs.value as signed decimal + newline
+    PRINTC = "printc"    # print chr(rs.value & 0xFF)
+    PRINTS = "prints"    # print NUL-terminated string at rs (debug only)
+    HALT = "halt"        # stop; exit code = imm or rs
+    ABORT = "abort"      # deliberate failure (test harness), code = imm
+
+
+#: ALU opcodes whose result inherits bounds from a pointer input, per the
+#: paper: "add, sub, lea, mov, and xchg" propagate; multiply, divide,
+#: shift, rotate and logical operations do not.
+PROPAGATING_OPS = frozenset({Op.MOV, Op.LEA, Op.ADD, Op.SUB, Op.XCHG})
+
+#: Opcodes that read memory / write memory.
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE})
+
+NUM_REGS = 16
+
+#: Canonical register names r0..r15.
+REG_NAMES = tuple("r%d" % i for i in range(NUM_REGS))
+
+#: ABI aliases: stack pointer, frame pointer, return address.
+REG_ALIASES = {"sp": 13, "fp": 14, "ra": 15}
+
+#: ABI register assignments used by the MiniC compiler.  r0..r3 hold
+#: arguments and r0 the return value; r4..r9 are scratch; r10..r12 are
+#: callee-saved temporaries.
+REG_ARG0, REG_ARG1, REG_ARG2, REG_ARG3 = 0, 1, 2, 3
+REG_RET = 0
+REG_SP, REG_FP, REG_RA = 13, 14, 15
+
+
+def reg_index(name: str) -> int:
+    """Translate a register name (``r4``, ``sp``) to its index.
+
+    Raises :class:`KeyError` for unknown names.
+    """
+    name = name.lower()
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise KeyError("unknown register %r" % name)
+
+
+def reg_name(index: int) -> str:
+    """Preferred printable name for a register index."""
+    for alias, idx in REG_ALIASES.items():
+        if idx == index:
+            return alias
+    return REG_NAMES[index]

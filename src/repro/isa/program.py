@@ -1,0 +1,87 @@
+"""Linked program image: instructions plus an initialized data segment."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+
+
+class DataItem:
+    """One named object in the data segment.
+
+    ``offset`` is relative to the segment start; ``initial`` is the
+    initial byte content (zero-filled space is represented by
+    ``initial=b""`` and a nonzero ``size``).
+    """
+
+    __slots__ = ("name", "offset", "size", "initial")
+
+    def __init__(self, name: str, offset: int, size: int,
+                 initial: bytes = b""):
+        self.name = name
+        self.offset = offset
+        self.size = size
+        self.initial = initial
+
+    def __repr__(self):
+        return ("DataItem(name=%r, offset=%d, size=%d)"
+                % (self.name, self.offset, self.size))
+
+
+class Program:
+    """A fully linked program: code, labels, data image and symbols.
+
+    Produced by :func:`repro.isa.assembler.assemble`; consumed by
+    :class:`repro.machine.cpu.CPU`, which copies ``data_image`` to
+    ``GLOBAL_BASE`` and starts executing at ``entry``.
+    """
+
+    def __init__(self,
+                 instrs: List[Instruction],
+                 labels: Dict[str, int],
+                 data_image: bytes = b"",
+                 data_symbols: Optional[Dict[str, DataItem]] = None,
+                 entry: Optional[int] = None,
+                 source: str = ""):
+        self.instrs = instrs
+        self.labels = dict(labels)
+        self.data_image = bytes(data_image)
+        self.data_symbols = dict(data_symbols or {})
+        if entry is None:
+            entry = self.labels.get("main", 0)
+        self.entry = entry
+        self.source = source
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def label_at(self, pc: int) -> Optional[str]:
+        """Return a label for instruction index ``pc`` if one exists."""
+        for name, idx in self.labels.items():
+            if idx == pc:
+                return name
+        return None
+
+    def symbol_address(self, name: str, global_base: int) -> int:
+        """Absolute address of data symbol ``name`` for a given layout."""
+        return global_base + self.data_symbols[name].offset
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing with labels."""
+        from repro.isa.disasm import disassemble
+        by_pc: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_pc.setdefault(idx, []).append(name)
+        lines = []
+        for pc, instr in enumerate(self.instrs):
+            for name in sorted(by_pc.get(pc, ())):
+                lines.append("%s:" % name)
+            lines.append("    %4d: %s" % (pc, disassemble(instr)))
+        return "\n".join(lines)
+
+    def stats(self) -> Tuple[int, int]:
+        """Return ``(code_length, data_length)``."""
+        return len(self.instrs), len(self.data_image)

@@ -1,0 +1,123 @@
+"""Static validation of linked programs.
+
+A lightweight verifier run over assembler/codegen output in tests:
+catches malformed instructions (bad register indices, missing
+operands, unresolved branch targets) before they turn into confusing
+runtime faults.  Deliberately strict — codegen bugs should fail here,
+loudly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import NUM_REGS, Op
+from repro.isa.program import Program
+
+#: operand requirements: op -> (needs_rd, needs_rs, rt_or_imm)
+_THREE_OP = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+    Op.SHL, Op.SHR, Op.SRA, Op.SEQ, Op.SNE, Op.SLT, Op.SLE, Op.SGT,
+    Op.SGE, Op.SLTU, Op.SGEU, Op.SETBOUND,
+}
+_TWO_OP = {
+    Op.NEG, Op.NOT, Op.XCHG, Op.READBASE, Op.READBOUND, Op.SETUNSAFE,
+    Op.CLRBND,
+}
+_BRANCHES = {Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL}
+
+
+class ValidationError(Exception):
+    """A structurally invalid instruction or program."""
+
+    def __init__(self, pc: int, instr: Instruction, message: str):
+        # note: malformed instructions may not disassemble, so the
+        # message uses the bare opcode
+        super().__init__("pc %d (%s): %s" % (pc, instr.op.value,
+                                             message))
+        self.pc = pc
+
+
+def _check_reg(pc: int, instr: Instruction, field: str,
+               required: bool) -> None:
+    value = getattr(instr, field)
+    if value is None:
+        if required:
+            raise ValidationError(pc, instr, "missing %s" % field)
+        return
+    if not (isinstance(value, int) and 0 <= value < NUM_REGS):
+        raise ValidationError(pc, instr, "bad %s register %r"
+                              % (field, value))
+
+
+def validate_instruction(pc: int, instr: Instruction,
+                         code_len: int) -> None:
+    """Raise :class:`ValidationError` on a malformed instruction."""
+    op = instr.op
+    if op in _THREE_OP:
+        _check_reg(pc, instr, "rd", required=True)
+        _check_reg(pc, instr, "rs", required=True)
+        if instr.rt is None and instr.imm is None:
+            raise ValidationError(pc, instr, "needs rt or imm")
+        _check_reg(pc, instr, "rt", required=False)
+    elif op in _TWO_OP:
+        _check_reg(pc, instr, "rd", required=True)
+        _check_reg(pc, instr, "rs", required=True)
+    elif op is Op.MOV:
+        _check_reg(pc, instr, "rd", required=True)
+        if instr.rs is None and instr.imm is None:
+            raise ValidationError(pc, instr, "mov needs rs or imm")
+        _check_reg(pc, instr, "rs", required=False)
+    elif op in (Op.LOAD, Op.STORE, Op.LEA):
+        _check_reg(pc, instr, "rd", required=True)
+        _check_reg(pc, instr, "rs", required=False)
+        _check_reg(pc, instr, "rt", required=False)
+        if op is not Op.LEA and instr.size not in (1, 2, 4):
+            raise ValidationError(pc, instr, "bad access size %r"
+                                  % (instr.size,))
+        if instr.scale not in (1, 2, 4, 8):
+            raise ValidationError(pc, instr, "bad scale %r"
+                                  % (instr.scale,))
+    elif op in _BRANCHES:
+        if instr.target is None:
+            raise ValidationError(pc, instr, "unresolved target")
+        if not 0 <= instr.target < code_len:
+            raise ValidationError(pc, instr, "target %d out of range"
+                                  % instr.target)
+        if op in (Op.BEQZ, Op.BNEZ):
+            _check_reg(pc, instr, "rs", required=True)
+    elif op is Op.SETCODE:
+        _check_reg(pc, instr, "rd", required=True)
+        if instr.rs is None and instr.imm is None:
+            raise ValidationError(pc, instr, "setcode needs rs or imm")
+    elif op is Op.MARKFREE:
+        _check_reg(pc, instr, "rs", required=True)
+        if instr.rt is None and instr.imm is None:
+            raise ValidationError(pc, instr, "needs rt or imm")
+    elif op in (Op.CALLR, Op.SBRK, Op.PRINT, Op.PRINTC, Op.PRINTS):
+        _check_reg(pc, instr, "rs", required=True)
+    elif op in (Op.RET, Op.HALT, Op.ABORT):
+        pass
+    else:  # pragma: no cover - exhaustiveness guard
+        raise ValidationError(pc, instr, "unknown opcode")
+
+
+def validate_program(program: Program) -> List[str]:
+    """Validate every instruction; returns warnings (non-fatal).
+
+    Raises :class:`ValidationError` on structural problems; returns a
+    list of advisory warnings (currently: code falling off the end
+    without halt/jump/ret).
+    """
+    code_len = len(program.instrs)
+    if code_len == 0:
+        raise ValidationError(0, Instruction(Op.HALT),
+                              "empty program")
+    for pc, instr in enumerate(program.instrs):
+        validate_instruction(pc, instr, code_len)
+    warnings = []
+    last = program.instrs[-1]
+    if last.op not in (Op.HALT, Op.ABORT, Op.RET, Op.JMP):
+        warnings.append("control can fall off the end of the program")
+    return warnings

@@ -1,0 +1,87 @@
+"""Machine and HardBound configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.layout import STACK_SIZE
+
+
+class SafetyMode(enum.Enum):
+    """How much HardBound checking the core performs.
+
+    ``OFF``
+        Plain core: no metadata, no checks (the uninstrumented
+        baseline binaries of Section 5.4).
+    ``MALLOC_ONLY``
+        Bounds are checked only when present; dereferencing a register
+        without metadata is permitted unchecked (footnote 2: legacy
+        binaries with an instrumented ``malloc``).
+    ``FULL``
+        Compiler-instrumented binaries: every dereference must go
+        through a bounded pointer, and dereferencing a non-pointer
+        raises an exception (Figure 3C/D).
+    """
+
+    OFF = "off"
+    MALLOC_ONLY = "malloc-only"
+    FULL = "full"
+
+
+@dataclasses.dataclass
+class MachineConfig:
+    """All knobs of the simulated machine.
+
+    Attributes mirror the experimental knobs of Section 5:
+
+    ``encoding``
+        Pointer-metadata encoding name: ``"uncompressed"``,
+        ``"extern4"``, ``"intern4"`` or ``"intern11"``.  Ignored when
+        ``mode`` is ``OFF``.
+    ``check_uop``
+        Section 5.4 ablation: the bounds check of an uncompressed
+        pointer consumes an explicit extra µop instead of running on a
+        dedicated parallel ALU.
+    ``check_access_extent``
+        Extension (not paper behaviour): also require ``ea + size <=
+        bound`` rather than the paper's ``ea < bound``.  Default off to
+        match Figure 2 semantics exactly.
+    ``timing``
+        Whether to run the cache/TLB timing model.  Functional tests
+        turn it off for speed.
+    """
+
+    mode: SafetyMode = SafetyMode.OFF
+    encoding: str = "uncompressed"
+    check_uop: bool = False
+    check_access_extent: bool = False
+    timing: bool = True
+    stack_size: int = STACK_SIZE
+    max_instructions: int = 200_000_000
+    capture_output: bool = True
+    echo_output: bool = False
+    #: Section 6.2 temporal extension: track freed heap words via the
+    #: ``markfree`` hint and trap use-after-free / double-free.
+    temporal: bool = False
+    #: Optional metadata-engine factory with the signature
+    #: ``(encoding, memsys, check_uop, check_access_extent) -> engine``;
+    #: the software-checking baselines substitute a cost-model engine
+    #: here (see repro.baselines.fatptr).
+    engine_factory: object = None
+
+    @classmethod
+    def plain(cls, **kw) -> "MachineConfig":
+        """Uninstrumented baseline core."""
+        return cls(mode=SafetyMode.OFF, **kw)
+
+    @classmethod
+    def hardbound(cls, encoding: str = "intern11", **kw) -> "MachineConfig":
+        """Full-safety HardBound core with the given encoding."""
+        return cls(mode=SafetyMode.FULL, encoding=encoding, **kw)
+
+    @classmethod
+    def malloc_only(cls, encoding: str = "intern11",
+                    **kw) -> "MachineConfig":
+        """Legacy-binary mode: heap bounds only."""
+        return cls(mode=SafetyMode.MALLOC_ONLY, encoding=encoding, **kw)

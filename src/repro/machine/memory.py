@@ -1,0 +1,157 @@
+"""Sparse, paged data memory with mapping discipline.
+
+Memory is byte addressable and little endian.  Pages materialize on
+first *mapped* touch; the mapping discipline models virtual-memory
+protection: accesses are legal only inside the globals segment, the
+heap below the current program break, or the stack reservation.  The
+shadow and tag metadata regions are written exclusively by the
+simulated hardware, which bypasses the mapping check (the OS maps
+metadata pages on demand, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.layout import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    NULL_GUARD,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    STACK_TOP,
+)
+from repro.machine.errors import MemoryFault
+
+
+class Memory:
+    """Sparse page store plus segment bookkeeping.
+
+    ``globals_limit`` and ``brk`` define the mapped extents of the
+    data and heap segments; ``stack_base`` the bottom of the stack
+    reservation.  :meth:`check_mapped` enforces them for program
+    accesses (hardware metadata accesses use the ``raw_*`` entry
+    points).
+    """
+
+    def __init__(self, stack_size: int):
+        self._pages: Dict[int, bytearray] = {}
+        self.globals_limit = GLOBAL_BASE
+        self.brk = HEAP_BASE
+        self.stack_base = STACK_TOP - stack_size
+
+    # -- segment management ------------------------------------------------
+
+    def load_image(self, image: bytes, extra_bss: int = 0) -> None:
+        """Copy the program's data image to ``GLOBAL_BASE``."""
+        self.raw_write_bytes(GLOBAL_BASE, image)
+        self.globals_limit = GLOBAL_BASE + len(image) + extra_bss
+
+    def sbrk(self, increment: int) -> int:
+        """Grow (or query, with 0) the heap; returns the old break."""
+        old = self.brk
+        self.brk += increment
+        return old
+
+    def check_mapped(self, addr: int, size: int, access: str) -> None:
+        """Trap unless [addr, addr+size) lies in a mapped segment."""
+        end = addr + size
+        if GLOBAL_BASE <= addr and end <= self.globals_limit:
+            return
+        if HEAP_BASE <= addr and end <= self.brk:
+            return
+        if self.stack_base <= addr and end <= STACK_TOP:
+            return
+        raise MemoryFault(addr, access)
+
+    # -- raw byte access (no mapping checks) ----------------------------------
+
+    def _page(self, page_no: int) -> bytearray:
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_no] = page
+        return page
+
+    def raw_read(self, addr: int, size: int) -> int:
+        """Little-endian unsigned read of 1/2/4 bytes."""
+        off = addr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[off:off + size], "little")
+        return int.from_bytes(self.raw_read_bytes(addr, size), "little")
+
+    def raw_write(self, addr: int, size: int, value: int) -> None:
+        """Little-endian write of the low ``size`` bytes of ``value``."""
+        off = addr & (PAGE_SIZE - 1)
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if off + size <= PAGE_SIZE:
+            self._page(addr >> PAGE_SHIFT)[off:off + size] = data
+        else:
+            self.raw_write_bytes(addr, data)
+
+    def raw_read_bytes(self, addr: int, length: int) -> bytes:
+        """Read an arbitrary byte range (may span pages)."""
+        out = bytearray()
+        while length:
+            off = addr & (PAGE_SIZE - 1)
+            chunk = min(length, PAGE_SIZE - off)
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                out += bytes(chunk)
+            else:
+                out += page[off:off + chunk]
+            addr += chunk
+            length -= chunk
+        return bytes(out)
+
+    def raw_write_bytes(self, addr: int, data: bytes) -> None:
+        """Write an arbitrary byte range (may span pages)."""
+        pos = 0
+        while pos < len(data):
+            off = addr & (PAGE_SIZE - 1)
+            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            self._page(addr >> PAGE_SHIFT)[off:off + chunk] = \
+                data[pos:pos + chunk]
+            addr += chunk
+            pos += chunk
+
+    # -- checked program access --------------------------------------------
+
+    def read(self, addr: int, size: int) -> int:
+        """Program read with null-guard and mapping checks."""
+        if addr < NULL_GUARD:
+            raise MemoryFault(addr, "read")
+        self.check_mapped(addr, size, "read")
+        return self.raw_read(addr, size)
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Program write with null-guard and mapping checks."""
+        if addr < NULL_GUARD:
+            raise MemoryFault(addr, "write")
+        self.check_mapped(addr, size, "write")
+        self.raw_write(addr, size, value)
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated latin-1 string (debug helper)."""
+        out = []
+        for i in range(limit):
+            byte = self.raw_read(addr + i, 1)
+            if byte == 0:
+                break
+            out.append(chr(byte))
+        return "".join(out)
+
+    # -- introspection -------------------------------------------------------
+
+    def mapped_pages(self) -> Iterable[int]:
+        """Page numbers materialized so far (metadata pages included)."""
+        return self._pages.keys()
+
+    def segments(self) -> Tuple[Tuple[int, int], ...]:
+        """Mapped program segments as (start, end) pairs."""
+        return ((GLOBAL_BASE, self.globals_limit),
+                (HEAP_BASE, self.brk),
+                (self.stack_base, STACK_TOP))

@@ -1,0 +1,59 @@
+"""Register file with base/bound "sidecar" metadata.
+
+The architected state of every register is a ``{value; base; bound}``
+triple (Section 3.1).  ``base == bound == 0`` marks a non-pointer.  The
+sidecars live in parallel lists for speed; the tuple view is for tests
+and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.opcodes import NUM_REGS, reg_name
+from repro.layout import MASK32
+
+
+class RegisterFile:
+    """Sixteen general registers, each with base/bound sidecars."""
+
+    __slots__ = ("value", "base", "bound")
+
+    def __init__(self):
+        self.value: List[int] = [0] * NUM_REGS
+        self.base: List[int] = [0] * NUM_REGS
+        self.bound: List[int] = [0] * NUM_REGS
+
+    def set(self, idx: int, value: int, base: int = 0,
+            bound: int = 0) -> None:
+        """Write the full triple of register ``idx``."""
+        self.value[idx] = value & MASK32
+        self.base[idx] = base & MASK32
+        self.bound[idx] = bound & MASK32
+
+    def get(self, idx: int) -> Tuple[int, int, int]:
+        """Read the full triple of register ``idx``."""
+        return self.value[idx], self.base[idx], self.bound[idx]
+
+    def is_pointer(self, idx: int) -> bool:
+        """A register is a pointer iff its metadata is not {0; 0}."""
+        return bool(self.base[idx] or self.bound[idx])
+
+    def copy_meta(self, dst: int, src: int) -> None:
+        """Propagate metadata from ``src`` to ``dst`` (value untouched)."""
+        self.base[dst] = self.base[src]
+        self.bound[dst] = self.bound[src]
+
+    def clear_meta(self, dst: int) -> None:
+        """Mark ``dst`` as a non-pointer."""
+        self.base[dst] = 0
+        self.bound[dst] = 0
+
+    def dump(self) -> str:
+        """Multi-line register dump for debugging."""
+        lines = []
+        for i in range(NUM_REGS):
+            lines.append("%-3s = 0x%08x  [base=0x%08x bound=0x%08x]"
+                         % (reg_name(i), self.value[i],
+                            self.base[i], self.bound[i]))
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Execution tracing: per-instruction logs with bounds metadata.
+
+Wraps a CPU's dispatch table so every executed instruction is
+recorded (pc, disassembly, destination triple).  Intended for
+debugging compiler output and violation reports::
+
+    cpu = CPU(program, config)
+    tracer = Tracer(cpu, limit=200)
+    try:
+        cpu.run()
+    finally:
+        print(tracer.format())
+
+Tracing costs an extra Python call per instruction — use it on small
+programs, not benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.isa.disasm import disassemble
+from repro.isa.opcodes import reg_name
+
+
+class TraceEntry(NamedTuple):
+    pc: int
+    text: str
+    dest: Optional[str]       # "r3 = {value; base; bound}" or None
+
+
+class Tracer:
+    """Records the last ``limit`` executed instructions of a CPU."""
+
+    def __init__(self, cpu, limit: int = 1000):
+        self.cpu = cpu
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+        self.total = 0
+        self._wrap_dispatch()
+
+    def _wrap_dispatch(self) -> None:
+        cpu = self.cpu
+        original = dict(cpu._dispatch)
+
+        def make_wrapper(op, handler):
+            def wrapped(instr):
+                try:
+                    result = handler(instr)
+                finally:
+                    # record in a finally so traps and halt are traced
+                    self._record(instr)
+                return result
+            return wrapped
+
+        for op, handler in original.items():
+            cpu._dispatch[op] = make_wrapper(op, handler)
+
+    def _record(self, instr) -> None:
+        self.total += 1
+        dest = None
+        if instr.rd is not None and instr.op.value not in ("store",):
+            regs = self.cpu.regs
+            rd = instr.rd
+            dest = "%s = {0x%08x; 0x%08x; 0x%08x}" % (
+                reg_name(rd), regs.value[rd], regs.base[rd],
+                regs.bound[rd])
+        self.entries.append(TraceEntry(self.cpu.pc,
+                                       disassemble(instr), dest))
+        if len(self.entries) > self.limit:
+            del self.entries[0]
+
+    def format(self, last: Optional[int] = None) -> str:
+        """Render the trace tail as aligned text."""
+        entries = self.entries if last is None else self.entries[-last:]
+        lines = []
+        for entry in entries:
+            line = "%6d: %-34s" % (entry.pc, entry.text)
+            if entry.dest:
+                line += "  ; " + entry.dest
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def pointer_writes(self) -> List[TraceEntry]:
+        """Entries whose destination carries bounds (debug helper)."""
+        out = []
+        for entry in self.entries:
+            if entry.dest and not entry.dest.endswith(
+                    "{0x00000000; 0x00000000; 0x00000000}") and \
+                    "; 0x00000000; 0x00000000}" not in entry.dest:
+                out.append(entry)
+        return out

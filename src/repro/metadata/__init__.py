@@ -1,0 +1,23 @@
+"""Pointer-metadata encodings (Sections 4.2 and 4.3)."""
+
+from repro.metadata.encodings import (
+    Encoding,
+    UncompressedEncoding,
+    External4Encoding,
+    Internal4Encoding,
+    Internal11Encoding,
+    get_encoding,
+    ENCODINGS,
+)
+from repro.metadata.store import MetadataStore
+
+__all__ = [
+    "Encoding",
+    "UncompressedEncoding",
+    "External4Encoding",
+    "Internal4Encoding",
+    "Internal11Encoding",
+    "get_encoding",
+    "ENCODINGS",
+    "MetadataStore",
+]

@@ -1,0 +1,42 @@
+"""MiniC: the C-subset compiler used to drive HardBound.
+
+The paper instruments C programs with a CIL source-to-source pass and
+compiles with GCC; our substitute is a small, self-contained compiler
+for a C subset rich enough for the Olden benchmarks and the
+spatial-violation corpus: ints, chars, pointers, arrays, structs,
+functions, full expression/statement syntax, ``sizeof``, casts and
+string literals.
+
+Pipeline: :mod:`lexer` → :mod:`parser` → :mod:`sema` (type checking +
+annotation) → :mod:`codegen` (assembly text) → the ISA assembler.
+Instrumentation modes (Section 3.2 of the paper):
+
+* ``InstrumentMode.NONE`` — plain binary (the GCC baseline; even the
+  explicit ``__setbound`` intrinsics are stripped);
+* ``InstrumentMode.HEAP_ONLY`` — legacy binary whose only
+  instrumentation is inside ``malloc`` (footnote 2's mode);
+* ``InstrumentMode.HARDBOUND`` — additionally insert ``setbound`` for
+  address-taken locals/globals, array decay, sub-object narrowing and
+  string literals (full spatial safety).
+"""
+
+from repro.minic.errors import MiniCError, LexError, ParseError, TypeError_
+from repro.minic.driver import (
+    InstrumentMode,
+    compile_program,
+    compile_to_asm,
+    compile_and_run,
+)
+from repro.minic.stdlib import STDLIB_SOURCE
+
+__all__ = [
+    "MiniCError",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+    "InstrumentMode",
+    "compile_program",
+    "compile_to_asm",
+    "compile_and_run",
+    "STDLIB_SOURCE",
+]

@@ -1,0 +1,316 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry their source line for diagnostics.  The semantic analyzer
+annotates expressions with ``ty`` (a :mod:`repro.minic.types` type)
+and lvalue-ness; codegen reads only annotated trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base AST node."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int):
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+class Expr(Node):
+    """Base expression; ``ty`` / ``is_lvalue`` filled by sema."""
+
+    __slots__ = ("ty", "is_lvalue")
+
+    def __init__(self, line: int):
+        super().__init__(line)
+        self.ty = None
+        self.is_lvalue = False
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class CharLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Expr):
+    __slots__ = ("value", "symbol")
+
+    def __init__(self, value: str, line: int):
+        super().__init__(line)
+        self.value = value
+        self.symbol = None  # assigned by codegen
+
+
+class Ident(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # resolved by sema
+
+
+class Unary(Expr):
+    """Prefix: ``- ~ ! * & ++ --`` (ops '*' = deref, '&' = addr-of)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Postfix(Expr):
+    """Postfix ``++``/``--``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """``lhs op rhs`` where op is '=', '+=', '-=', ... ."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Expr, els: Expr, line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "symbol")
+
+    def __init__(self, name: str, args: List[Expr], line: int):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.symbol = None
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.name`` or ``base->name`` (arrow=True)."""
+
+    __slots__ = ("base", "name", "arrow", "field")
+
+    def __init__(self, base: Expr, name: str, arrow: bool, line: int):
+        super().__init__(line)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+        self.field = None  # resolved StructField
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type, operand: Expr, line: int):
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class SizeofType(Expr):
+    __slots__ = ("target_type",)
+
+    def __init__(self, target_type, line: int):
+        super().__init__(line)
+        self.target_type = target_type
+
+
+class SizeofExpr(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, line: int):
+        super().__init__(line)
+        self.operand = operand
+
+
+# -----------------------------------------------------------------------------
+# statements
+# -----------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], line: int):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Stmt, els: Optional[Stmt],
+                 line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body: Stmt, line: int):
+        super().__init__(line)
+        self.init = init      # Stmt or None (DeclStmt/ExprStmt)
+        self.cond = cond      # Expr or None
+        self.step = step      # Expr or None
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class DeclStmt(Stmt):
+    """A local variable declaration (one declarator)."""
+
+    __slots__ = ("decl",)
+
+    def __init__(self, decl: "VarDecl", line: int):
+        super().__init__(line)
+        self.decl = decl
+
+
+# --------------------------------------------------------------------------
+# declarations
+# --------------------------------------------------------------------------
+
+class Decl(Node):
+    __slots__ = ()
+
+
+class VarDecl(Decl):
+    """Variable declaration; ``symbol`` is filled by sema."""
+
+    __slots__ = ("type", "name", "init", "symbol")
+
+    def __init__(self, type_, name: str, init: Optional[Expr], line: int):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+        self.init = init
+        self.symbol = None
+
+
+class StructDecl(Decl):
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str, members: List[Tuple], line: int):
+        super().__init__(line)
+        self.name = name
+        self.members = members  # [(Type, name)] after parsing
+
+
+class FuncDecl(Decl):
+    __slots__ = ("ret_type", "name", "params", "body", "symbol")
+
+    def __init__(self, ret_type, name: str, params: List[Tuple],
+                 body: Optional[Block], line: int):
+        super().__init__(line)
+        self.ret_type = ret_type
+        self.name = name
+        self.params = params  # [(Type, name)]
+        self.body = body
+        self.symbol = None
+
+
+class TranslationUnit(Node):
+    """Root node; ``structs`` is the parser's interned struct table."""
+
+    __slots__ = ("decls", "structs")
+
+    def __init__(self, decls: List[Decl], structs=None):
+        super().__init__(1)
+        self.decls = decls
+        self.structs = structs or {}

@@ -1,0 +1,819 @@
+"""MiniC code generation to assembler text.
+
+Register convention (see :mod:`repro.isa.opcodes`):
+
+* ``r0`` — return value;
+* ``r1``–``r9`` — expression temporaries, allocated as a stack and
+  caller-saved around calls;
+* ``sp``/``fp``/``ra`` — the usual roles.  Like the paper's x86
+  target, ``sp``/``fp`` are *not* bounded pointers: frame-relative
+  accesses are compiler-owned direct accesses, and every materialized
+  address of a local gets an explicit ``setbound``.
+
+HardBound instrumentation (``InstrumentMode.HARDBOUND``) implements
+Section 3.2's compiler duties at the only three places pointers are
+*created*:
+
+* address-of / array decay of locals and globals → ``setbound`` with
+  the object's static size;
+* sub-object narrowing: decay of (or address-of) a struct member →
+  ``setbound`` with the member's size; a zero-length trailing array
+  gets bounds extending to the enclosing allocation via ``readbound``
+  (the paper's footnote 3 idiom);
+* string literals → ``setbound`` with ``strlen + 1``.
+
+``&q[i]`` deliberately keeps the whole array's bounds (the paper's
+conservative choice, Section 3.2 "programmer-specified sub-bounding").
+Direct scalar accesses (``x = 5`` on a named local/global) use frame-
+or absolute-addressed operands and need no ``setbound``, mirroring
+statically-safe accesses in the paper's compiler.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.minic import ast
+from repro.minic.errors import MiniCError
+from repro.minic.sema import Symbol
+from repro.minic.types import ArrayType, Type
+
+WORD = 4
+#: expression temporaries
+_FIRST_TEMP, _LAST_TEMP = 1, 9
+
+
+class InstrumentMode(enum.Enum):
+    """How much bounds instrumentation the compiler inserts."""
+
+    NONE = "none"            # plain baseline binary (intrinsics stripped)
+    HEAP_ONLY = "heap-only"  # explicit __setbound intrinsics only
+    #                          (legacy binary + instrumented malloc)
+    HARDBOUND = "hardbound"  # + compiler setbound at pointer creation
+
+
+class CodeGen:
+    """Generates assembler text for an analyzed translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 mode: InstrumentMode = InstrumentMode.HARDBOUND,
+                 optimize_static: bool = False):
+        self.unit = unit
+        self.mode = mode
+        #: Section 8's "unbound the pointer" optimization: a constant
+        #: index into a named array that is provably in bounds needs
+        #: no bounded pointer at all — it compiles to a direct
+        #: frame/absolute access like any named scalar.  Off by
+        #: default to keep the measured configuration identical to
+        #: the paper's prototype (which bounds even constant-index
+        #: references, Section 5.3).
+        self.optimize_static = optimize_static
+        self.lines: List[str] = []
+        self.data_lines: List[str] = []
+        self.strings: Dict[str, str] = {}
+        self._label_n = 0
+        self.depth = 0
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+        self._ret_label = ""
+
+    # -- infrastructure --------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(label + ":")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_n += 1
+        return ".%s%d" % (hint, self._label_n)
+
+    def alloc(self) -> int:
+        """Allocate the next expression temporary register."""
+        if _FIRST_TEMP + self.depth > _LAST_TEMP:
+            raise MiniCError("expression too complex (out of registers)")
+        reg = _FIRST_TEMP + self.depth
+        self.depth += 1
+        return reg
+
+    def release(self, reg: int) -> None:
+        """Release the most recently allocated temporary (LIFO)."""
+        expected = _FIRST_TEMP + self.depth - 1
+        if reg != expected:
+            raise MiniCError("temporary release out of order "
+                             "(r%d, expected r%d)" % (reg, expected))
+        self.depth -= 1
+
+    @property
+    def hardbound(self) -> bool:
+        """Compiler-inserted instrumentation sites are active."""
+        return self.mode is InstrumentMode.HARDBOUND
+
+    @property
+    def intrinsics(self) -> bool:
+        """Explicit ``__setbound``-family intrinsics are emitted."""
+        return self.mode is not InstrumentMode.NONE
+
+    def string_label(self, text: str) -> str:
+        if text not in self.strings:
+            label = "str_%d" % len(self.strings)
+            self.strings[text] = label
+            escaped = (text.replace("\\", "\\\\").replace('"', '\\"')
+                       .replace("\n", "\\n").replace("\t", "\\t")
+                       .replace("\r", "\\r").replace("\0", "\\0"))
+            self.data_lines.append('%s: .asciiz "%s"' % (label, escaped))
+        return self.strings[text]
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self) -> str:
+        self.lines.append("    .text")
+        self.emit_label("main")
+        # statically initialized global pointers need their metadata
+        # initialized at startup (the loader's job on real HardBound)
+        if self.hardbound:
+            for decl in self.unit.decls:
+                if isinstance(decl, ast.VarDecl) and \
+                        decl.symbol.init_string is not None:
+                    label = self.string_label(decl.symbol.init_string)
+                    length = len(decl.symbol.init_string) + 1
+                    self.emit("mov r1, =%s" % label)
+                    self.emit("setbound r1, r1, %d" % length)
+                    self.emit("store [gv_%s], r1" % decl.symbol.name)
+        self.emit("call fn_main")
+        self.emit("halt r0")
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FuncDecl) and decl.body is not None:
+                self.gen_function(decl)
+        self._emit_globals()
+        out = list(self.lines)
+        if self.data_lines:
+            out.append("    .data")
+            out.extend("    " + line for line in self.data_lines)
+        return "\n".join(out) + "\n"
+
+    def _emit_globals(self) -> None:
+        for decl in self.unit.decls:
+            if not isinstance(decl, ast.VarDecl):
+                continue
+            sym = decl.symbol
+            sym.data_label = "gv_" + sym.name
+            self.data_lines.append(".align 4")
+            ty = sym.type
+            if sym.init_string is not None:
+                slabel = self.string_label(sym.init_string)
+                self.data_lines.append("%s: .word =%s"
+                                       % (sym.data_label, slabel))
+            elif ty.is_scalar() and ty.size == WORD:
+                self.data_lines.append("%s: .word %d"
+                                       % (sym.data_label, sym.init_value))
+            elif ty.size == 1:
+                self.data_lines.append("%s: .byte %d"
+                                       % (sym.data_label,
+                                          sym.init_value & 0xFF))
+            else:
+                self.data_lines.append("%s: .space %d"
+                                       % (sym.data_label,
+                                          max(ty.size, 1)))
+
+    def gen_function(self, decl: ast.FuncDecl) -> None:
+        sym = decl.symbol
+        self.emit_label("fn_" + decl.name)
+        self._ret_label = ".ret_" + decl.name
+        self.emit("push ra")
+        self.emit("push fp")
+        self.emit("mov fp, sp")
+        if sym.frame_size:
+            self.emit("sub sp, sp, %d" % sym.frame_size)
+        self.depth = 0
+        self.gen_stmt(decl.body)
+        self.emit_label(self._ret_label)
+        self.emit("mov sp, fp")
+        self.emit("pop fp")
+        self.emit("pop ra")
+        self.emit("ret")
+
+    # -- statements --------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        method = getattr(self, "_stmt_" + type(stmt).__name__)
+        method(stmt)
+        if self.depth != 0:
+            raise MiniCError("internal: temporaries leaked in statement "
+                             "at line %d" % stmt.line)
+
+    def _stmt_Block(self, stmt: ast.Block) -> None:
+        for inner in stmt.stmts:
+            self.gen_stmt(inner)
+
+    def _stmt_DeclStmt(self, stmt: ast.DeclStmt) -> None:
+        decl = stmt.decl
+        if decl.init is not None:
+            target = ast.Ident(decl.name, decl.line)
+            target.symbol = decl.symbol
+            target.ty = decl.symbol.type
+            target.is_lvalue = True
+            reg = self.gen_expr(decl.init)
+            self._store_to_lvalue(target, reg)
+            self.release(reg)
+
+    def _stmt_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        reg = self.gen_expr(stmt.expr)
+        if reg is not None:
+            self.release(reg)
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        reg = self.gen_expr(stmt.cond)
+        self.emit("beqz r%d, %s"
+                  % (reg, else_label if stmt.els else end_label))
+        self.release(reg)
+        self.gen_stmt(stmt.then)
+        if stmt.els is not None:
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self.gen_stmt(stmt.els)
+        self.emit_label(end_label)
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        top = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.emit_label(top)
+        reg = self.gen_expr(stmt.cond)
+        self.emit("beqz r%d, %s" % (reg, end))
+        self.release(reg)
+        self._break_labels.append(end)
+        self._continue_labels.append(top)
+        self.gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        top = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        self.emit_label(top)
+        if stmt.cond is not None:
+            reg = self.gen_expr(stmt.cond)
+            self.emit("beqz r%d, %s" % (reg, end))
+            self.release(reg)
+        self._break_labels.append(end)
+        self._continue_labels.append(step_label)
+        self.gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            reg = self.gen_expr(stmt.step)
+            if reg is not None:
+                self.release(reg)
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            reg = self.gen_expr(stmt.value)
+            self.emit("mov r0, r%d" % reg)
+            self.release(reg)
+        self.emit("jmp %s" % self._ret_label)
+
+    def _stmt_Break(self, stmt: ast.Break) -> None:
+        self.emit("jmp %s" % self._break_labels[-1])
+
+    def _stmt_Continue(self, stmt: ast.Continue) -> None:
+        self.emit("jmp %s" % self._continue_labels[-1])
+
+    # -- expressions -----------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr) -> Optional[int]:
+        """Generate code; returns the temp register or None for void."""
+        method = getattr(self, "_expr_" + type(expr).__name__)
+        return method(expr)
+
+    def _expr_IntLit(self, expr: ast.IntLit) -> int:
+        reg = self.alloc()
+        self.emit("mov r%d, %d" % (reg, expr.value))
+        return reg
+
+    def _expr_CharLit(self, expr: ast.CharLit) -> int:
+        reg = self.alloc()
+        self.emit("mov r%d, %d" % (reg, expr.value))
+        return reg
+
+    def _expr_StrLit(self, expr: ast.StrLit) -> int:
+        label = self.string_label(expr.value)
+        reg = self.alloc()
+        self.emit("mov r%d, =%s" % (reg, label))
+        if self.hardbound:
+            self.emit("setbound r%d, r%d, %d"
+                      % (reg, reg, len(expr.value) + 1))
+        return reg
+
+    def _expr_SizeofType(self, expr: ast.SizeofType) -> int:
+        reg = self.alloc()
+        self.emit("mov r%d, %d" % (reg, expr.target_type.size))
+        return reg
+
+    def _expr_SizeofExpr(self, expr: ast.SizeofExpr) -> int:
+        ty = expr.operand.ty
+        size = ty.size if not ty.is_array() else ty.size
+        reg = self.alloc()
+        self.emit("mov r%d, %d" % (reg, size))
+        return reg
+
+    def _expr_Ident(self, expr: ast.Ident) -> int:
+        sym = expr.symbol
+        ty = sym.type
+        if ty.is_array():
+            # array decay: materialize a (narrowed) pointer
+            return self._addr_of_symbol(sym, narrow=True)
+        if ty.is_struct():
+            raise MiniCError("struct used as a value", expr.line)
+        reg = self.alloc()
+        self.emit("load%s r%d, %s"
+                  % (_suffix(ty), reg, self._sym_operand(sym)))
+        return reg
+
+    def _sym_operand(self, sym: Symbol) -> str:
+        """Direct-addressing operand for a named scalar."""
+        if sym.kind == "global":
+            return "[gv_%s]" % sym.name
+        if sym.kind == "param":
+            return "[fp + %d]" % sym.offset
+        return "[fp - %d]" % sym.offset
+
+    def _addr_of_symbol(self, sym: Symbol, narrow: bool) -> int:
+        """Materialize the address of a named object into a register."""
+        reg = self.alloc()
+        if sym.kind == "global":
+            self.emit("mov r%d, =gv_%s" % (reg, sym.name))
+        elif sym.kind == "param":
+            self.emit("lea r%d, [fp + %d]" % (reg, sym.offset))
+        else:
+            self.emit("lea r%d, [fp - %d]" % (reg, sym.offset))
+        if self.hardbound and narrow:
+            self.emit("setbound r%d, r%d, %d"
+                      % (reg, reg, max(sym.type.size, 1)))
+        return reg
+
+    # .. addresses ..........................................................
+
+    def gen_addr(self, expr: ast.Expr, narrow: bool) -> int:
+        """Address of an lvalue (or array) expression.
+
+        ``narrow`` requests sub-object tightening per Section 3.2 —
+        used when the address escapes (decay, ``&``), not for plain
+        load/store addressing of named variables.
+        """
+        if isinstance(expr, ast.Ident):
+            # a materialized address must carry bounds in HB mode:
+            # the frame/absolute fast paths don't reach here, so this
+            # register will be dereferenced as a pointer
+            return self._addr_of_symbol(expr.symbol, narrow=True)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            reg = self.gen_expr(expr.operand)
+            return reg
+        if isinstance(expr, ast.Index):
+            return self._index_addr(expr)
+        if isinstance(expr, ast.Member):
+            return self._member_addr(expr, narrow)
+        raise MiniCError("cannot take the address of this expression "
+                         "(line %d)" % expr.line, expr.line)
+
+    def _static_index_operand(self, expr: ast.Expr) -> Optional[str]:
+        """Direct operand for a provably-in-bounds constant index.
+
+        Returns ``None`` unless ``optimize_static`` is on and ``expr``
+        is ``name[const]`` on a named array with ``0 <= const < len``.
+        """
+        if not self.optimize_static:
+            return None
+        if not (isinstance(expr, ast.Index)
+                and isinstance(expr.base, ast.Ident)
+                and isinstance(expr.index, ast.IntLit)):
+            return None
+        sym = expr.base.symbol
+        if sym is None or not isinstance(sym.type, ArrayType):
+            return None
+        idx = expr.index.value
+        if not 0 <= idx < sym.type.length:
+            return None
+        offset = idx * max(sym.type.element.size, 1)
+        if sym.kind == "global":
+            return "[gv_%s + %d]" % (sym.name, offset)
+        if sym.kind == "param":
+            return None  # params are pointers, not arrays
+        return "[fp - %d]" % (sym.offset - offset)
+
+    def _index_addr(self, expr: ast.Index) -> int:
+        base_ty = expr.base.ty
+        if isinstance(base_ty, ArrayType):
+            base = self.gen_addr(expr.base, narrow=True)
+            elem = base_ty.element
+        else:
+            base = self.gen_expr(expr.base)
+            elem = base_ty.target
+        if isinstance(expr.index, ast.IntLit):
+            off = expr.index.value * max(elem.size, 1)
+            if off:
+                self.emit("add r%d, r%d, %d" % (base, base, off))
+            return base
+        idx = self.gen_expr(expr.index)
+        esz = max(elem.size, 1)
+        if esz != 1:
+            self.emit("mul r%d, r%d, %d" % (idx, idx, esz))
+        # add pointer-first so bounds propagate from the base
+        self.emit("add r%d, r%d, r%d" % (base, base, idx))
+        self.release(idx)
+        return base
+
+    def _member_addr(self, expr: ast.Member, narrow: bool) -> int:
+        if expr.arrow:
+            base = self.gen_expr(expr.base)
+        else:
+            base = self.gen_addr(expr.base, narrow=False)
+        field = expr.field
+        if field.offset:
+            self.emit("add r%d, r%d, %d" % (base, base, field.offset))
+        if self.hardbound and narrow:
+            fty = field.type
+            if isinstance(fty, ArrayType) and fty.length == 0 and \
+                    expr.arrow:
+                # footnote 3: zero-sized trailing array extends to the
+                # end of the allocation -> bound from the base pointer
+                tmp = self.alloc()
+                self.emit("readbound r%d, r%d" % (tmp, base))
+                self.emit("sub r%d, r%d, r%d" % (tmp, tmp, base))
+                self.emit("setbound r%d, r%d, r%d" % (base, base, tmp))
+                self.release(tmp)
+            else:
+                self.emit("setbound r%d, r%d, %d"
+                          % (base, base, max(fty.size, 1)))
+        return base
+
+    # .. loads and stores ....................................................
+
+    def _load_from_lvalue(self, expr: ast.Expr) -> int:
+        """Load the value of an lvalue expression."""
+        if isinstance(expr, ast.Ident) and expr.symbol.type.is_scalar():
+            return self._expr_Ident(expr)
+        addr = self.gen_addr(expr, narrow=False)
+        self.emit("load%s r%d, [r%d]" % (_suffix(expr.ty), addr, addr))
+        return addr
+
+    def _store_to_lvalue(self, expr: ast.Expr, value_reg: int) -> None:
+        """Store ``value_reg`` into the lvalue (value_reg preserved)."""
+        if isinstance(expr, ast.Ident) and expr.symbol.type.is_scalar():
+            self.emit("store%s %s, r%d"
+                      % (_suffix(expr.symbol.type),
+                         self._sym_operand(expr.symbol), value_reg))
+            return
+        operand = self._static_index_operand(expr)
+        if operand is not None:
+            self.emit("store%s %s, r%d" % (_suffix(expr.ty), operand,
+                                           value_reg))
+            return
+        addr = self.gen_addr(expr, narrow=False)
+        self.emit("store%s [r%d], r%d"
+                  % (_suffix(expr.ty), addr, value_reg))
+        self.release(addr)
+
+    # .. operators ...............................................................
+
+    def _expr_Unary(self, expr: ast.Unary) -> int:
+        op = expr.op
+        if op == "&":
+            return self.gen_addr(expr.operand, narrow=True)
+        if op == "*":
+            reg = self.gen_expr(expr.operand)
+            self.emit("load%s r%d, [r%d]" % (_suffix(expr.ty), reg, reg))
+            return reg
+        if op in ("++", "--"):
+            return self._incdec(expr.operand, op, want_old=False)
+        reg = self.gen_expr(expr.operand)
+        if op == "-":
+            self.emit("neg r%d, r%d" % (reg, reg))
+        elif op == "~":
+            self.emit("not r%d, r%d" % (reg, reg))
+        elif op == "!":
+            self.emit("seq r%d, r%d, 0" % (reg, reg))
+        return reg
+
+    def _expr_Postfix(self, expr: ast.Postfix) -> int:
+        return self._incdec(expr.operand, expr.op, want_old=True)
+
+    def _incdec(self, target: ast.Expr, op: str, want_old: bool) -> int:
+        step = 1
+        if target.ty.is_pointer():
+            step = max(target.ty.target.size, 1)
+        insn = "add" if op == "++" else "sub"
+        if isinstance(target, ast.Ident) and \
+                target.symbol.type.is_scalar():
+            reg = self._load_from_lvalue(target)
+            if want_old:
+                new = self.alloc()
+                self.emit("%s r%d, r%d, %d" % (insn, new, reg, step))
+                self.emit("store%s %s, r%d"
+                          % (_suffix(target.symbol.type),
+                             self._sym_operand(target.symbol), new))
+                self.release(new)
+            else:
+                self.emit("%s r%d, r%d, %d" % (insn, reg, reg, step))
+                self.emit("store%s %s, r%d"
+                          % (_suffix(target.symbol.type),
+                             self._sym_operand(target.symbol), reg))
+            return reg
+        addr = self.gen_addr(target, narrow=False)
+        val = self.alloc()
+        self.emit("load%s r%d, [r%d]" % (_suffix(target.ty), val, addr))
+        if want_old:
+            new = self.alloc()
+            self.emit("%s r%d, r%d, %d" % (insn, new, val, step))
+            self.emit("store%s [r%d], r%d"
+                      % (_suffix(target.ty), addr, new))
+            self.release(new)
+        else:
+            self.emit("%s r%d, r%d, %d" % (insn, val, val, step))
+            self.emit("store%s [r%d], r%d"
+                      % (_suffix(target.ty), addr, val))
+        # keep the value, drop the address: swap into addr's slot
+        self.emit("mov r%d, r%d" % (addr, val))
+        self.release(val)
+        return addr
+
+    _CMP = {"==": "seq", "!=": "sne", "<": "slt", "<=": "sle",
+            ">": "sgt", ">=": "sge"}
+    #: pointer comparisons are unsigned: mnemonic + operand swap
+    _CMP_U = {"<": ("sltu", False), ">": ("sltu", True),
+              ">=": ("sgeu", False), "<=": ("sgeu", True),
+              "==": ("seq", False), "!=": ("sne", False)}
+    _ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div",
+              "%": "mod", "&": "and", "|": "or", "^": "xor",
+              "<<": "shl", ">>": "sra"}
+
+    def _expr_Binary(self, expr: ast.Binary) -> Optional[int]:
+        op = expr.op
+        if op == ",":
+            left = self.gen_expr(expr.left)
+            if left is not None:
+                self.release(left)
+            return self.gen_expr(expr.right)
+        if op in ("&&", "||"):
+            return self._shortcircuit(expr)
+        lty, rty = expr.left.ty, expr.right.ty
+        left = self.gen_expr(expr.left)
+        # pointer +/- integer scaling
+        if op in ("+", "-") and lty.is_pointer() and rty.is_integer():
+            right = self.gen_expr(expr.right)
+            esz = max(lty.target.size, 1)
+            if esz != 1:
+                self.emit("mul r%d, r%d, %d" % (right, right, esz))
+            self.emit("%s r%d, r%d, r%d"
+                      % (self._ARITH[op], left, left, right))
+            self.release(right)
+            return left
+        if op == "+" and lty.is_integer() and rty.is_pointer():
+            right = self.gen_expr(expr.right)
+            esz = max(rty.target.size, 1)
+            if esz != 1:
+                self.emit("mul r%d, r%d, %d" % (left, left, esz))
+            # pointer operand first so its bounds propagate
+            self.emit("add r%d, r%d, r%d" % (left, right, left))
+            self.release(right)
+            return left
+        if op == "-" and lty.is_pointer() and rty.is_pointer():
+            right = self.gen_expr(expr.right)
+            self.emit("sub r%d, r%d, r%d" % (left, left, right))
+            esz = max(lty.target.size, 1)
+            if esz != 1:
+                self.emit("div r%d, r%d, %d" % (left, left, esz))
+            else:
+                self.emit("clrbnd r%d, r%d" % (left, left))
+            self.release(right)
+            return left
+        right = self.gen_expr(expr.right)
+        if op in self._CMP:
+            if lty.is_pointer() or rty.is_pointer():
+                mnem, swap = self._CMP_U[op]
+                a, b = (right, left) if swap else (left, right)
+                self.emit("%s r%d, r%d, r%d" % (mnem, left, a, b))
+            else:
+                self.emit("%s r%d, r%d, r%d"
+                          % (self._CMP[op], left, left, right))
+        else:
+            self.emit("%s r%d, r%d, r%d"
+                      % (self._ARITH[op], left, left, right))
+        self.release(right)
+        return left
+
+    def _shortcircuit(self, expr: ast.Binary) -> int:
+        end = self.new_label("sc")
+        result = self.alloc()
+        self.emit("mov r%d, %d" % (result, 0 if expr.op == "&&" else 1))
+        branch = "beqz" if expr.op == "&&" else "bnez"
+        left = self.gen_expr(expr.left)
+        self.emit("%s r%d, %s" % (branch, left, end))
+        self.release(left)
+        right = self.gen_expr(expr.right)
+        self.emit("%s r%d, %s" % (branch, right, end))
+        self.release(right)
+        self.emit("mov r%d, %d" % (result, 1 if expr.op == "&&" else 0))
+        self.emit_label(end)
+        return result
+
+    def _expr_Assign(self, expr: ast.Assign) -> int:
+        if expr.op == "=":
+            value = self.gen_expr(expr.value)
+            self._store_to_lvalue(expr.target, value)
+            return value
+        # compound assignment: compute address once
+        base_op = expr.op[:-1]
+        target = expr.target
+        tty = target.ty
+        if isinstance(target, ast.Ident) and \
+                target.symbol.type.is_scalar():
+            current = self._load_from_lvalue(target)
+            self._apply_compound(current, base_op, expr.value, tty)
+            self.emit("store%s %s, r%d"
+                      % (_suffix(target.symbol.type),
+                         self._sym_operand(target.symbol), current))
+            return current
+        addr = self.gen_addr(target, narrow=False)
+        current = self.alloc()
+        self.emit("load%s r%d, [r%d]" % (_suffix(tty), current, addr))
+        self._apply_compound(current, base_op, expr.value, tty)
+        self.emit("store%s [r%d], r%d" % (_suffix(tty), addr, current))
+        # keep the value, drop the address
+        self.emit("mov r%d, r%d" % (addr, current))
+        self.release(current)
+        return addr
+
+    def _apply_compound(self, current: int, op: str, value: ast.Expr,
+                        tty: Type) -> None:
+        rhs = self.gen_expr(value)
+        if tty.is_pointer():
+            esz = max(tty.target.size, 1)
+            if esz != 1:
+                self.emit("mul r%d, r%d, %d" % (rhs, rhs, esz))
+        self.emit("%s r%d, r%d, r%d"
+                  % (self._ARITH[op], current, current, rhs))
+        self.release(rhs)
+
+    def _expr_Cond(self, expr: ast.Cond) -> int:
+        else_label = self.new_label("celse")
+        end = self.new_label("cend")
+        result = self.alloc()
+        cond = self.gen_expr(expr.cond)
+        self.emit("beqz r%d, %s" % (cond, else_label))
+        self.release(cond)
+        then = self.gen_expr(expr.then)
+        self.emit("mov r%d, r%d" % (result, then))
+        self.release(then)
+        self.emit("jmp %s" % end)
+        self.emit_label(else_label)
+        els = self.gen_expr(expr.els)
+        self.emit("mov r%d, r%d" % (result, els))
+        self.release(els)
+        self.emit_label(end)
+        return result
+
+    def _expr_Cast(self, expr: ast.Cast) -> Optional[int]:
+        reg = self.gen_expr(expr.operand)
+        target = expr.target_type
+        if target.is_void():
+            if reg is not None:
+                self.release(reg)
+            return None
+        # casts are metadata no-ops (Section 6.1); only a narrowing
+        # integer cast generates code
+        if target.size == 1 and expr.operand.ty.size == WORD and \
+                target.is_integer():
+            self.emit("and r%d, r%d, 255" % (reg, reg))
+        return reg
+
+    def _expr_Index(self, expr: ast.Index) -> int:
+        if expr.ty.is_array():
+            # multi-dimensional: the element is itself an array
+            return self._index_addr(expr)
+        operand = self._static_index_operand(expr)
+        if operand is not None:
+            reg = self.alloc()
+            self.emit("load%s r%d, %s" % (_suffix(expr.ty), reg,
+                                          operand))
+            return reg
+        addr = self._index_addr(expr)
+        self.emit("load%s r%d, [r%d]" % (_suffix(expr.ty), addr, addr))
+        return addr
+
+    def _expr_Member(self, expr: ast.Member) -> int:
+        if expr.field.type.is_array():
+            return self._member_addr(expr, narrow=True)
+        addr = self._member_addr(expr, narrow=False)
+        self.emit("load%s r%d, [r%d]" % (_suffix(expr.ty), addr, addr))
+        return addr
+
+    # .. calls ....................................................................
+
+    _BUILTIN_INSNS = {"print": "print", "printc": "printc",
+                      "prints": "prints"}
+
+    def _expr_Call(self, expr: ast.Call) -> Optional[int]:
+        name = expr.name
+        if name == "__setbound":
+            return self._builtin_setbound(expr)
+        if name in ("__setunsafe", "__clrbnd"):
+            reg = self.gen_expr(expr.args[0])
+            if self.intrinsics:
+                insn = "setunsafe" if name == "__setunsafe" else "clrbnd"
+                self.emit("%s r%d, r%d" % (insn, reg, reg))
+            return reg
+        if name == "__markfree":
+            ptr = self.gen_expr(expr.args[0])
+            size = self.gen_expr(expr.args[1])
+            if self.intrinsics:
+                self.emit("markfree r%d, r%d" % (ptr, size))
+            self.release(size)
+            self.release(ptr)
+            return None
+        if name in ("__readbase", "__readbound"):
+            reg = self.gen_expr(expr.args[0])
+            self.emit("%s r%d, r%d" % (name[2:], reg, reg))
+            return reg
+        if name == "sbrk":
+            reg = self.gen_expr(expr.args[0])
+            self.emit("sbrk r%d" % reg)
+            return reg
+        if name in self._BUILTIN_INSNS:
+            reg = self.gen_expr(expr.args[0])
+            self.emit("%s r%d" % (self._BUILTIN_INSNS[name], reg))
+            self.release(reg)
+            return None
+        if name == "abort":
+            reg = self.gen_expr(expr.args[0])
+            self.emit("abort r%d" % reg)
+            self.release(reg)
+            return None
+        return self._user_call(expr)
+
+    def _builtin_setbound(self, expr: ast.Call) -> int:
+        ptr = self.gen_expr(expr.args[0])
+        size_arg = expr.args[1]
+        if not self.intrinsics:
+            # evaluate a possibly effectful size operand, else skip it
+            if not isinstance(size_arg, (ast.IntLit, ast.CharLit,
+                                         ast.Ident, ast.SizeofType)):
+                size = self.gen_expr(size_arg)
+                self.release(size)
+            return ptr
+        if isinstance(size_arg, ast.IntLit):
+            self.emit("setbound r%d, r%d, %d"
+                      % (ptr, ptr, size_arg.value))
+            return ptr
+        if isinstance(size_arg, ast.SizeofType):
+            self.emit("setbound r%d, r%d, %d"
+                      % (ptr, ptr, size_arg.target_type.size))
+            return ptr
+        size = self.gen_expr(size_arg)
+        self.emit("setbound r%d, r%d, r%d" % (ptr, ptr, size))
+        self.release(size)
+        return ptr
+
+    def _user_call(self, expr: ast.Call) -> Optional[int]:
+        saved = self.depth
+        for i in range(_FIRST_TEMP, _FIRST_TEMP + saved):
+            self.emit("push r%d" % i)
+        self.depth = 0
+        for arg in reversed(expr.args):
+            reg = self.gen_expr(arg)
+            self.emit("push r%d" % reg)
+            self.release(reg)
+        self.emit("call fn_%s" % expr.name)
+        if expr.args:
+            self.emit("add sp, sp, %d" % (WORD * len(expr.args)))
+        for i in range(_FIRST_TEMP + saved - 1, _FIRST_TEMP - 1, -1):
+            self.emit("pop r%d" % i)
+        self.depth = saved
+        if expr.symbol.type.is_void():
+            return None
+        result = self.alloc()
+        self.emit("mov r%d, r0" % result)
+        return result
+
+
+def _suffix(ty: Type) -> str:
+    """Load/store width suffix for a scalar type."""
+    return "b" if ty.size == 1 else ""
+
+
+def generate(unit: ast.TranslationUnit,
+             mode: InstrumentMode = InstrumentMode.HARDBOUND,
+             optimize_static: bool = False) -> str:
+    """Generate assembler text from an analyzed unit."""
+    return CodeGen(unit, mode, optimize_static).run()

@@ -1,0 +1,27 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MiniCError(Exception):
+    """Base class for all MiniC compilation errors."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class LexError(MiniCError):
+    """Tokenizer failure."""
+
+
+class ParseError(MiniCError):
+    """Grammar failure."""
+
+
+class TypeError_(MiniCError):
+    """Semantic analysis failure (named to avoid shadowing builtins)."""

@@ -1,0 +1,136 @@
+"""MiniC tokenizer."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.minic.errors import LexError
+
+KEYWORDS = frozenset({
+    "int", "char", "void", "struct", "if", "else", "while", "for",
+    "return", "break", "continue", "sizeof", "static", "typedef",
+})
+
+#: Multi-character operators, longest first (order matters).
+_OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'",
+            '"': '"', "r": "\r"}
+
+
+class Token(NamedTuple):
+    """A lexical token: kind is 'id', 'num', 'str', 'char', 'kw' or 'op'."""
+
+    kind: str
+    text: str
+    line: int
+    value: Optional[object] = None
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source; raises :class:`LexError` with line info."""
+    tokens: List[Token] = []
+    i, line = 0, 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("num", source[i:j], line, value))
+            i = j
+            continue
+        if ch == "'":
+            j, text = _scan_quoted(source, i, "'", line)
+            if len(text) != 1:
+                raise LexError("bad character literal", line)
+            tokens.append(Token("char", source[i:j], line, ord(text)))
+            i = j
+            continue
+        if ch == '"':
+            j, text = _scan_quoted(source, i, '"', line)
+            tokens.append(Token("str", source[i:j], line, text))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError("unexpected character %r" % ch, line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _scan_quoted(source: str, start: int, quote: str, line: int):
+    """Scan a quoted literal starting at ``start``; return (end, text)."""
+    i = start + 1
+    out = []
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == quote:
+            return i + 1, "".join(out)
+        if ch == "\n":
+            break
+        if ch == "\\" and i + 1 < n:
+            esc = source[i + 1]
+            if esc == "x":
+                hex_digits = source[i + 2:i + 4]
+                if len(hex_digits) != 2 or any(
+                        c not in "0123456789abcdefABCDEF"
+                        for c in hex_digits):
+                    raise LexError("bad hex escape", line)
+                out.append(chr(int(hex_digits, 16)))
+                i += 4
+                continue
+            if esc not in _ESCAPES:
+                raise LexError("unknown escape \\%s" % esc, line)
+            out.append(_ESCAPES[esc])
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise LexError("unterminated %s literal" % quote, line)

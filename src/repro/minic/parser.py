@@ -1,0 +1,437 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar sketch (C subset)::
+
+    unit       := (struct_decl | func_decl | var_decl)*
+    struct     := 'struct' ID '{' (type declarator ';')* '}' ';'
+    func       := type declarator '(' params ')' (block | ';')
+    statement  := block | if | while | for | return | break | continue
+                | decl ';' | expr ';' | ';'
+    expr       := assignment (with the usual C precedence ladder)
+
+Struct types are registered here (the parser owns the struct table so
+that declarators can resolve ``struct node *``); field layout checking
+happens in :mod:`repro.minic.sema`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic import ast
+from repro.minic.errors import ParseError
+from repro.minic.lexer import Token, tokenize
+from repro.minic.types import (
+    ArrayType,
+    CHAR,
+    INT,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+
+#: binary operators by precedence level, lowest first
+_BINOPS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=",
+                         "&=", "|=", "^=", "<<=", ">>="})
+
+
+class Parser:
+    """One-shot parser; use :func:`parse`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs: Dict[str, StructType] = {}
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError("expected %r, found %r" % (want, tok.text),
+                             tok.line)
+        return self.next()
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type_start(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.text in ("int", "char", "void",
+                                                 "struct", "static")
+
+    def parse_base_type(self) -> Type:
+        self.accept("kw", "static")  # accepted and ignored
+        tok = self.expect("kw")
+        if tok.text == "int":
+            return INT
+        if tok.text == "char":
+            return CHAR
+        if tok.text == "void":
+            return VOID
+        if tok.text == "struct":
+            name = self.expect("id").text
+            if name not in self.structs:
+                self.structs[name] = StructType(name)
+            return self.structs[name]
+        raise ParseError("expected a type, found %r" % tok.text, tok.line)
+
+    def parse_declarator(self, base: Type) -> Tuple[Type, str, int]:
+        """Parse ``*... name [N]...``; returns (type, name, line)."""
+        ty = base
+        while self.accept("op", "*"):
+            ty = PointerType(ty)
+        tok = self.expect("id")
+        dims: List[int] = []
+        while self.accept("op", "["):
+            num = self.expect("num")
+            dims.append(num.value)
+            self.expect("op", "]")
+        for dim in reversed(dims):
+            ty = ArrayType(ty, dim)
+        return ty, tok.text, tok.line
+
+    def parse_abstract_type(self) -> Type:
+        """Type for casts/sizeof: base + stars (no abstract arrays)."""
+        ty = self.parse_base_type()
+        while self.accept("op", "*"):
+            ty = PointerType(ty)
+        return ty
+
+    def at_cast(self) -> bool:
+        """Lookahead: '(' followed by a type keyword is a cast."""
+        if not self.at("op", "("):
+            return False
+        tok = self.peek(1)
+        return tok.kind == "kw" and tok.text in ("int", "char", "void",
+                                                 "struct")
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        decls: List[ast.Decl] = []
+        while not self.at("eof"):
+            decls.extend(self.parse_top_decl())
+        return ast.TranslationUnit(decls, self.structs)
+
+    def parse_top_decl(self) -> List[ast.Decl]:
+        line = self.peek().line
+        if self.at("kw", "typedef"):
+            raise ParseError("typedef is not supported in MiniC", line)
+        # struct definition?
+        if self.at("kw", "struct") and self.peek(1).kind == "id" \
+                and self.peek(2).kind == "op" and self.peek(2).text == "{":
+            return [self.parse_struct_def()]
+        base = self.parse_base_type()
+        if self.accept("op", ";"):
+            return []  # bare 'struct foo;' forward declaration
+        ty, name, dline = self.parse_declarator(base)
+        if self.at("op", "("):
+            return [self.parse_func_rest(ty, name, dline)]
+        # global variable(s)
+        decls: List[ast.Decl] = []
+        while True:
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            decls.append(ast.VarDecl(ty, name, init, dline))
+            if not self.accept("op", ","):
+                break
+            ty, name, dline = self.parse_declarator(base)
+        self.expect("op", ";")
+        return decls
+
+    def parse_struct_def(self) -> ast.StructDecl:
+        line = self.expect("kw", "struct").line
+        name = self.expect("id").text
+        if name not in self.structs:
+            self.structs[name] = StructType(name)
+        self.expect("op", "{")
+        members: List[Tuple[Type, str]] = []
+        while not self.accept("op", "}"):
+            base = self.parse_base_type()
+            while True:
+                ty, fname, _ = self.parse_declarator(base)
+                members.append((ty, fname))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ";")
+        self.expect("op", ";")
+        decl = ast.StructDecl(name, members, line)
+        return decl
+
+    def parse_func_rest(self, ret_type: Type, name: str,
+                        line: int) -> ast.FuncDecl:
+        self.expect("op", "(")
+        params: List[Tuple[Type, str]] = []
+        if not self.at("op", ")"):
+            if self.at("kw", "void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    pty, pname, _ = self.parse_declarator(base)
+                    if pty.is_array():
+                        pty = pty.decayed()  # arrays decay in params
+                    params.append((pty, pname))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return ast.FuncDecl(ret_type, name, params, None, line)
+        body = self.parse_block()
+        return ast.FuncDecl(ret_type, name, params, body, line)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect("op", "{").line
+        stmts: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.extend(self.parse_statement())
+        return ast.Block(stmts, line)
+
+    def parse_statement(self) -> List[ast.Stmt]:
+        tok = self.peek()
+        if self.at("op", "{"):
+            return [self.parse_block()]
+        if self.at("kw", "if"):
+            return [self.parse_if()]
+        if self.at("kw", "while"):
+            return [self.parse_while()]
+        if self.at("kw", "for"):
+            return [self.parse_for()]
+        if self.at("kw", "return"):
+            self.next()
+            value = None if self.at("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return [ast.Return(value, tok.line)]
+        if self.at("kw", "break"):
+            self.next()
+            self.expect("op", ";")
+            return [ast.Break(tok.line)]
+        if self.at("kw", "continue"):
+            self.next()
+            self.expect("op", ";")
+            return [ast.Continue(tok.line)]
+        if self.at_type_start():
+            stmts = self.parse_local_decl()
+            self.expect("op", ";")
+            return stmts
+        if self.accept("op", ";"):
+            return []
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return [ast.ExprStmt(expr, tok.line)]
+
+    def parse_local_decl(self) -> List[ast.Stmt]:
+        base = self.parse_base_type()
+        stmts: List[ast.Stmt] = []
+        while True:
+            ty, name, line = self.parse_declarator(base)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            stmts.append(ast.DeclStmt(ast.VarDecl(ty, name, init, line),
+                                      line))
+            if not self.accept("op", ","):
+                break
+        return stmts
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = _single(self.parse_statement(), line)
+        els = None
+        if self.accept("kw", "else"):
+            els = _single(self.parse_statement(), line)
+        return ast.If(cond, then, els, line)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = _single(self.parse_statement(), line)
+        return ast.While(cond, body, line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.at("op", ";"):
+            if self.at_type_start():
+                decls = self.parse_local_decl()
+                init = ast.Block(decls, line)
+            else:
+                init = ast.ExprStmt(self.parse_expr(), line)
+        self.expect("op", ";")
+        cond = None if self.at("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self.parse_expr()
+        self.expect("op", ")")
+        body = _single(self.parse_statement(), line)
+        return ast.For(init, cond, step, body, line)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept("op", ","):
+            right = self.parse_assignment()
+            expr = ast.Binary(",", expr, right, right.line)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.Assign(tok.text, left, value, tok.line)
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_assignment()
+            self.expect("op", ":")
+            els = self.parse_assignment()
+            return ast.Cond(cond, then, els, cond.line)
+        return cond
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINOPS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINOPS[level]
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ops:
+                self.next()
+                right = self.parse_binary(level + 1)
+                left = ast.Binary(tok.text, left, right, tok.line)
+            else:
+                return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "~", "!", "*", "&"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text, operand, tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text, operand, tok.line)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self.next()
+            if self.at_cast():
+                self.expect("op", "(")
+                ty = self.parse_abstract_type()
+                self.expect("op", ")")
+                return ast.SizeofType(ty, tok.line)
+            operand = self.parse_unary()
+            return ast.SizeofExpr(operand, tok.line)
+        if self.at_cast():
+            self.expect("op", "(")
+            ty = self.parse_abstract_type()
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.Cast(ty, operand, tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, tok.line)
+            elif self.accept("op", "."):
+                name = self.expect("id").text
+                expr = ast.Member(expr, name, False, tok.line)
+            elif self.accept("op", "->"):
+                name = self.expect("id").text
+                expr = ast.Member(expr, name, True, tok.line)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self.next()
+                expr = ast.Postfix(tok.text, expr, tok.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.next()
+            return ast.IntLit(tok.value, tok.line)
+        if tok.kind == "char":
+            self.next()
+            return ast.CharLit(tok.value, tok.line)
+        if tok.kind == "str":
+            self.next()
+            return ast.StrLit(tok.value, tok.line)
+        if tok.kind == "id":
+            self.next()
+            if self.at("op", "("):
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.at("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(tok.text, args, tok.line)
+            return ast.Ident(tok.text, tok.line)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("unexpected token %r" % tok.text, tok.line)
+
+
+def _single(stmts: List[ast.Stmt], line: int) -> ast.Stmt:
+    """Wrap a statement list as a single statement."""
+    if len(stmts) == 1:
+        return stmts[0]
+    return ast.Block(stmts, line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source into an untyped AST."""
+    return Parser(source).parse_unit()

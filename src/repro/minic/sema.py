@@ -1,0 +1,545 @@
+"""Semantic analysis: name resolution, type checking, frame layout.
+
+Annotates the AST in place (``expr.ty``, ``expr.is_lvalue``, resolved
+``symbol``/``field`` references) and computes stack-frame layout for
+every function.  Codegen consumes only analyzed trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic import ast
+from repro.minic.errors import TypeError_
+from repro.minic.types import (
+    ArrayType,
+    CHAR,
+    INT,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    compatible_assign,
+)
+
+WORD = 4
+
+
+class Symbol:
+    """A named entity: variable, parameter or function."""
+
+    __slots__ = ("name", "type", "kind", "offset", "init_value",
+                 "init_string", "frame_size", "params", "defined",
+                 "data_label")
+
+    def __init__(self, name: str, type_: Type, kind: str):
+        self.name = name
+        self.type = type_
+        self.kind = kind          # 'global', 'local', 'param', 'func'
+        self.offset = 0           # frame offset (locals/params)
+        self.init_value = 0       # globals: constant initializer
+        self.init_string = None   # globals: string-literal initializer
+        self.frame_size = 0       # functions
+        self.params: List[Tuple[Type, str]] = []
+        self.defined = False
+        self.data_label = None    # globals: assembly symbol
+
+    def __repr__(self):
+        return "<Symbol %s %s %r>" % (self.kind, self.name, self.type)
+
+
+#: Builtin signature table: name -> (ret, [param types], variadic-ish
+#: marker).  ``None`` parameter means "any pointer" and ``ret`` of
+#: ``"same"`` means "type of first argument" (the bound-manipulation
+#: intrinsics are generic over the pointer type).
+_BUILTINS: Dict[str, Tuple[object, List[object]]] = {
+    "__setbound": ("same", [None, INT]),
+    "__setunsafe": ("same", [None]),
+    "__clrbnd": ("same", [None]),
+    "__markfree": (VOID, [None, INT]),
+    "__readbase": (INT, [None]),
+    "__readbound": (INT, [None]),
+    "sbrk": (PointerType(VOID), [INT]),
+    "print": (VOID, [INT]),
+    "printc": (VOID, [INT]),
+    "prints": (VOID, [PointerType(CHAR)]),
+    "abort": (VOID, [INT]),
+}
+
+BUILTIN_NAMES = frozenset(_BUILTINS)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]):
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, line: int) -> None:
+        if sym.name in self.names:
+            raise TypeError_("redefinition of %r" % sym.name, line)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Walks a translation unit, annotating and checking."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals = _Scope(None)
+        self.functions: Dict[str, Symbol] = {}
+        self.current_func: Optional[Symbol] = None
+        self.scope = self.globals
+        self.loop_depth = 0
+        self._frame_top = 0
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> ast.TranslationUnit:
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.StructDecl):
+                self.declare_struct(decl)
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.VarDecl):
+                self.declare_global(decl)
+            elif isinstance(decl, ast.FuncDecl):
+                self.declare_function(decl)
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FuncDecl) and decl.body is not None:
+                self.check_function(decl)
+        return self.unit
+
+    # -- declarations ----------------------------------------------------------
+
+    def declare_struct(self, decl: ast.StructDecl) -> None:
+        struct = self.unit.structs.get(decl.name)
+        if struct is None:
+            struct = StructType(decl.name)
+            self.unit.structs[decl.name] = struct
+        struct.complete(decl.members, decl.line)
+
+    def declare_global(self, decl: ast.VarDecl) -> None:
+        self._require_complete(decl.type, decl.line)
+        sym = Symbol(decl.name, decl.type, "global")
+        if decl.init is not None:
+            if isinstance(decl.init, ast.StrLit):
+                if decl.type != PointerType(CHAR):
+                    raise TypeError_(
+                        "string initializer needs char*", decl.line)
+                sym.init_string = decl.init.value
+            else:
+                sym.init_value = self._const_value(decl.init)
+        self.globals.define(sym, decl.line)
+        decl.symbol = sym
+
+    def declare_function(self, decl: ast.FuncDecl) -> None:
+        existing = self.functions.get(decl.name)
+        if existing is not None:
+            if existing.defined and decl.body is not None:
+                raise TypeError_("redefinition of %s()" % decl.name,
+                                 decl.line)
+            if [t for t, _ in existing.params] != \
+                    [t for t, _ in decl.params] or \
+                    existing.type != decl.ret_type:
+                raise TypeError_("conflicting declaration of %s()"
+                                 % decl.name, decl.line)
+            decl.symbol = existing
+            if decl.body is not None:
+                existing.defined = True
+            return
+        if decl.name in BUILTIN_NAMES:
+            raise TypeError_("%s is a builtin" % decl.name, decl.line)
+        sym = Symbol(decl.name, decl.ret_type, "func")
+        sym.params = list(decl.params)
+        sym.defined = decl.body is not None
+        self.functions[decl.name] = sym
+        self.globals.define(sym, decl.line)
+        decl.symbol = sym
+
+    # -- function bodies -------------------------------------------------------
+
+    def check_function(self, decl: ast.FuncDecl) -> None:
+        self.current_func = decl.symbol
+        self.scope = _Scope(self.globals)
+        self._frame_top = 0
+        for i, (pty, pname) in enumerate(decl.params):
+            psym = Symbol(pname, pty, "param")
+            psym.offset = 8 + WORD * i  # above saved fp + ra
+            self.scope.define(psym, decl.line)
+        self.check_block(decl.body, new_scope=False)
+        decl.symbol.frame_size = _round_up(self._frame_top, WORD)
+        self.scope = self.globals
+        self.current_func = None
+
+    def check_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scope = _Scope(self.scope)
+        for stmt in block.stmts:
+            self.check_stmt(stmt)
+        if new_scope:
+            self.scope = self.scope.parent
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.check_block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.declare_local(stmt.decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond)
+            self.check_stmt(stmt.then)
+            if stmt.els is not None:
+                self.check_stmt(stmt.els)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.cond)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self.scope = _Scope(self.scope)
+            if isinstance(stmt.init, ast.Block):
+                # declarations in the for-header live in the for scope
+                for inner in stmt.init.stmts:
+                    self.check_stmt(inner)
+            elif stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond)
+            if stmt.step is not None:
+                self.check_expr(stmt.step)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.scope = self.scope.parent
+        elif isinstance(stmt, ast.Return):
+            ret = self.current_func.type
+            if stmt.value is None:
+                if not ret.is_void():
+                    raise TypeError_("return without value", stmt.line)
+            else:
+                ty = self.check_expr(stmt.value)
+                if ret.is_void():
+                    raise TypeError_("void function returns a value",
+                                     stmt.line)
+                if not compatible_assign(ret, ty):
+                    raise TypeError_(
+                        "cannot return %r from function returning %r"
+                        % (ty, ret), stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                raise TypeError_("break/continue outside a loop",
+                                 stmt.line)
+        else:
+            raise TypeError_("unhandled statement %r" % stmt, stmt.line)
+
+    def declare_local(self, decl: ast.VarDecl) -> None:
+        self._require_complete(decl.type, decl.line)
+        sym = Symbol(decl.name, decl.type, "local")
+        size = _round_up(max(decl.type.size, 1), WORD)
+        self._frame_top = _round_up(self._frame_top + size,
+                                    max(decl.type.align, WORD))
+        sym.offset = self._frame_top  # distance below fp
+        self.scope.define(sym, decl.line)
+        decl.symbol = sym
+        if decl.init is not None:
+            if not decl.type.is_scalar():
+                raise TypeError_("initializer on non-scalar local",
+                                 decl.line)
+            ty = self._rvalue(decl.init)
+            if not compatible_assign(decl.type, ty):
+                raise TypeError_("cannot initialize %r with %r"
+                                 % (decl.type, ty), decl.line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _check_condition(self, expr: ast.Expr) -> None:
+        ty = self.check_expr(expr)
+        if not ty.is_scalar():
+            raise TypeError_("condition must be scalar, got %r" % ty,
+                             expr.line)
+
+    def check_expr(self, expr: ast.Expr) -> Type:
+        """Annotate ``expr`` and return its (decayed for rvalues) type."""
+        method = getattr(self, "_expr_" + type(expr).__name__)
+        ty = method(expr)
+        expr.ty = ty
+        return ty
+
+    def _expr_IntLit(self, expr: ast.IntLit) -> Type:
+        return INT
+
+    def _expr_CharLit(self, expr: ast.CharLit) -> Type:
+        return INT  # character constants have type int, as in C
+
+    def _expr_StrLit(self, expr: ast.StrLit) -> Type:
+        return PointerType(CHAR)
+
+    def _expr_Ident(self, expr: ast.Ident) -> Type:
+        sym = self.scope.lookup(expr.name)
+        if sym is None:
+            raise TypeError_("undeclared identifier %r" % expr.name,
+                             expr.line)
+        if sym.kind == "func":
+            raise TypeError_(
+                "function %r used as a value (MiniC has no function "
+                "pointers)" % expr.name, expr.line)
+        expr.symbol = sym
+        expr.is_lvalue = not sym.type.is_array()
+        return sym.type
+
+    def _expr_Unary(self, expr: ast.Unary) -> Type:
+        op = expr.op
+        if op == "&":
+            ty = self.check_expr(expr.operand)
+            if not expr.operand.is_lvalue and not ty.is_array():
+                raise TypeError_("cannot take address of rvalue",
+                                 expr.line)
+            if ty.is_array():
+                ty = ty.element if isinstance(ty, ArrayType) else ty
+                return PointerType(ty)
+            return PointerType(ty)
+        if op == "*":
+            ty = self._rvalue(expr.operand)
+            if not ty.is_pointer():
+                raise TypeError_("cannot dereference %r" % ty, expr.line)
+            if ty.target.is_void():
+                raise TypeError_("cannot dereference void*", expr.line)
+            expr.is_lvalue = not ty.target.is_array()
+            return ty.target
+        if op in ("++", "--"):
+            ty = self.check_expr(expr.operand)
+            self._require_modifiable(expr.operand, expr.line)
+            return ty
+        ty = self._rvalue(expr.operand)
+        if op == "!":
+            if not ty.is_scalar():
+                raise TypeError_("! needs a scalar", expr.line)
+            return INT
+        if not ty.is_integer():
+            raise TypeError_("unary %s needs an integer, got %r"
+                             % (op, ty), expr.line)
+        return INT
+
+    def _expr_Postfix(self, expr: ast.Postfix) -> Type:
+        ty = self.check_expr(expr.operand)
+        self._require_modifiable(expr.operand, expr.line)
+        return ty
+
+    def _expr_Binary(self, expr: ast.Binary) -> Type:
+        op = expr.op
+        if op == ",":
+            self.check_expr(expr.left)
+            return self._rvalue(expr.right)
+        lty = self._rvalue(expr.left)
+        rty = self._rvalue(expr.right)
+        if op in ("&&", "||"):
+            if not (lty.is_scalar() and rty.is_scalar()):
+                raise TypeError_("%s needs scalars" % op, expr.line)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            ok = (lty.is_integer() and rty.is_integer()) or \
+                (lty.is_pointer() and rty.is_pointer()) or \
+                (lty.is_pointer() and _is_zero(expr.right)) or \
+                (rty.is_pointer() and _is_zero(expr.left))
+            if not ok:
+                raise TypeError_("cannot compare %r with %r" % (lty, rty),
+                                 expr.line)
+            return INT
+        if op == "+":
+            if lty.is_pointer() and rty.is_integer():
+                return lty
+            if lty.is_integer() and rty.is_pointer():
+                return rty
+        if op == "-":
+            if lty.is_pointer() and rty.is_integer():
+                return lty
+            if lty.is_pointer() and rty.is_pointer():
+                if lty != rty:
+                    raise TypeError_("pointer difference of %r and %r"
+                                     % (lty, rty), expr.line)
+                return INT
+        if lty.is_integer() and rty.is_integer():
+            return INT
+        raise TypeError_("invalid operands to %s: %r and %r"
+                         % (op, lty, rty), expr.line)
+
+    def _expr_Assign(self, expr: ast.Assign) -> Type:
+        tty = self.check_expr(expr.target)
+        self._require_modifiable(expr.target, expr.line)
+        vty = self._rvalue(expr.value)
+        if expr.op == "=":
+            if not compatible_assign(tty, vty):
+                raise TypeError_("cannot assign %r to %r" % (vty, tty),
+                                 expr.line)
+        else:
+            base_op = expr.op[:-1]
+            if tty.is_pointer():
+                if base_op not in ("+", "-") or not vty.is_integer():
+                    raise TypeError_("invalid %s on pointer" % expr.op,
+                                     expr.line)
+            elif not (tty.is_integer() and vty.is_integer()):
+                raise TypeError_("invalid operands to %s" % expr.op,
+                                 expr.line)
+        return tty
+
+    def _expr_Cond(self, expr: ast.Cond) -> Type:
+        self._check_condition(expr.cond)
+        tty = self._rvalue(expr.then)
+        ety = self._rvalue(expr.els)
+        if tty == ety:
+            return tty
+        if tty.is_integer() and ety.is_integer():
+            return INT
+        if tty.is_pointer() and _is_zero(expr.els):
+            return tty
+        if ety.is_pointer() and _is_zero(expr.then):
+            return ety
+        raise TypeError_("mismatched ?: arms: %r vs %r" % (tty, ety),
+                         expr.line)
+
+    def _expr_Call(self, expr: ast.Call) -> Type:
+        if expr.name in _BUILTINS:
+            return self._check_builtin(expr)
+        sym = self.functions.get(expr.name)
+        if sym is None:
+            raise TypeError_("call to undeclared function %r" % expr.name,
+                             expr.line)
+        expr.symbol = sym
+        if len(expr.args) != len(sym.params):
+            raise TypeError_("%s() expects %d argument(s), got %d"
+                             % (expr.name, len(sym.params),
+                                len(expr.args)), expr.line)
+        for arg, (pty, _pname) in zip(expr.args, sym.params):
+            aty = self._rvalue(arg)
+            if not compatible_assign(pty, aty):
+                raise TypeError_("argument of type %r where %r expected"
+                                 % (aty, pty), arg.line)
+        return sym.type
+
+    def _check_builtin(self, expr: ast.Call) -> Type:
+        ret, params = _BUILTINS[expr.name]
+        if len(expr.args) != len(params):
+            raise TypeError_("%s expects %d argument(s)"
+                             % (expr.name, len(params)), expr.line)
+        arg_types = []
+        for arg, pty in zip(expr.args, params):
+            aty = self._rvalue(arg)
+            arg_types.append(aty)
+            if pty is None:
+                if not aty.is_pointer():
+                    raise TypeError_("%s needs a pointer argument"
+                                     % expr.name, arg.line)
+            elif not compatible_assign(pty, aty):
+                raise TypeError_("argument of type %r where %r expected"
+                                 % (aty, pty), arg.line)
+        if ret == "same":
+            return arg_types[0]
+        return ret
+
+    def _expr_Index(self, expr: ast.Index) -> Type:
+        bty = self.check_expr(expr.base)
+        ity = self._rvalue(expr.index)
+        if not ity.is_integer():
+            raise TypeError_("array index must be an integer", expr.line)
+        if bty.is_array():
+            elem = bty.element
+        elif bty.is_pointer():
+            elem = bty.target
+            if elem.is_void():
+                raise TypeError_("cannot index void*", expr.line)
+        else:
+            raise TypeError_("cannot index %r" % bty, expr.line)
+        expr.is_lvalue = not elem.is_array()
+        return elem
+
+    def _expr_Member(self, expr: ast.Member) -> Type:
+        bty = self.check_expr(expr.base)
+        if expr.arrow:
+            if not (bty.is_pointer() and bty.target.is_struct()):
+                raise TypeError_("-> on non-struct-pointer %r" % bty,
+                                 expr.line)
+            struct = bty.target
+        else:
+            if not bty.is_struct():
+                raise TypeError_(". on non-struct %r" % bty, expr.line)
+            struct = bty
+        field = struct.field(expr.name, expr.line)
+        expr.field = field
+        expr.is_lvalue = not field.type.is_array()
+        return field.type
+
+    def _expr_Cast(self, expr: ast.Cast) -> Type:
+        ty = self._rvalue(expr.operand)
+        target = expr.target_type
+        if target.is_void():
+            return target
+        if not (target.is_scalar() and ty.is_scalar()):
+            raise TypeError_("invalid cast from %r to %r" % (ty, target),
+                             expr.line)
+        return target
+
+    def _expr_SizeofType(self, expr: ast.SizeofType) -> Type:
+        self._require_complete(expr.target_type, expr.line)
+        return INT
+
+    def _expr_SizeofExpr(self, expr: ast.SizeofExpr) -> Type:
+        self.check_expr(expr.operand)  # typed but never evaluated
+        return INT
+
+    # -- helpers --------------------------------------------------------------
+
+    def _rvalue(self, expr: ast.Expr) -> Type:
+        """Check ``expr`` and return its decayed rvalue type."""
+        ty = self.check_expr(expr)
+        if ty.is_array():
+            decayed = ty.decayed()
+            expr.ty = decayed
+            return decayed
+        return ty
+
+    def _require_modifiable(self, expr: ast.Expr, line: int) -> None:
+        if not expr.is_lvalue:
+            raise TypeError_("expression is not assignable", line)
+        if not expr.ty.is_scalar():
+            raise TypeError_("assignment to aggregate is not supported "
+                             "(use memcpy)", line)
+
+    def _require_complete(self, ty: Type, line: int) -> None:
+        base = ty
+        while isinstance(base, ArrayType):
+            base = base.element
+        if isinstance(base, StructType) and not base.is_complete:
+            raise TypeError_("incomplete type %r" % base, line)
+        if base.is_void() and not ty.is_pointer():
+            if ty is base:
+                raise TypeError_("cannot declare a void variable", line)
+
+    def _const_value(self, expr: ast.Expr) -> int:
+        if isinstance(expr, (ast.IntLit, ast.CharLit)):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_value(expr.operand)
+        if isinstance(expr, ast.SizeofType):
+            return expr.target_type.size
+        raise TypeError_("global initializer must be constant", expr.line)
+
+
+def _is_zero(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.IntLit) and expr.value == 0
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def analyze(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Run semantic analysis; returns the annotated unit."""
+    return Analyzer(unit).run()

@@ -1,0 +1,143 @@
+"""The MiniC runtime library, written in MiniC.
+
+``malloc`` follows the paper's Section 3.2: the allocator obtains raw
+memory (via ``sbrk``), manages headers through explicitly ``setbound``
+pointers (the "sophisticated programmer" pattern for custom
+allocators), and returns a pointer bounded to the *requested* size, so
+even a one-byte overflow of a heap object is a detectable spatial
+violation.  When compiled with ``InstrumentMode.NONE`` all
+``__setbound`` intrinsics vanish and this becomes an ordinary
+uninstrumented allocator — the legacy-binary baseline.
+
+Chunk layout: ``[size word][user data...]``; freed chunks are chained
+through their first user word (classic K&R-style free list,
+first-fit, no splitting or coalescing — allocation-intensive Olden
+workloads mostly never free).
+"""
+
+STDLIB_SOURCE = r"""
+// ---------------------------------------------------------------- allocator
+struct __chunk { int size; struct __chunk *next; };
+
+struct __chunk *__freelist;
+int __rand_seed;
+
+void *malloc(int n) {
+    struct __chunk *c;
+    struct __chunk *prev;
+    char *raw;
+    int need;
+    if (n <= 0) { n = 1; }
+    need = (n + 3) & ~3;
+    if (need < 8) { need = 8; }   // room for the free-list link
+    prev = (struct __chunk*)0;
+    c = __freelist;
+    while (c) {
+        if (c->size >= need) {
+            if (prev) { prev->next = c->next; }
+            else { __freelist = c->next; }
+            return __setbound((void*)((char*)c + 4), n);
+        }
+        prev = c;
+        c = c->next;
+    }
+    raw = (char*)__setbound(sbrk(need + 4), need + 4);
+    *(int*)raw = need;
+    return __setbound((void*)(raw + 4), n);
+}
+
+void free(void *p) {
+    struct __chunk *c;
+    int sz;
+    if (!p) { return; }
+    c = (struct __chunk*)__setbound((void*)((char*)p - 4), 8);
+    sz = c->size;
+    c->next = __freelist;
+    __freelist = c;
+    // temporal hint (Section 6.2): poison the user words beyond the
+    // free-list link, which stays live for the allocator itself
+    if (sz > 4) {
+        __markfree((void*)((char*)p + 4), sz - 4);
+    }
+}
+
+void *calloc(int count, int size) {
+    int total;
+    char *p;
+    int i;
+    total = count * size;
+    p = (char*)malloc(total);
+    for (i = 0; i < total; i++) { p[i] = 0; }
+    return (void*)p;
+}
+
+// ---------------------------------------------------------------- memory
+void *memset(void *dst, int value, int n) {
+    char *d;
+    int i;
+    d = (char*)dst;
+    for (i = 0; i < n; i++) { d[i] = (char)value; }
+    return dst;
+}
+
+void *memcpy(void *dst, void *src, int n) {
+    char *d;
+    char *s;
+    int i;
+    d = (char*)dst;
+    s = (char*)src;
+    for (i = 0; i < n; i++) { d[i] = s[i]; }
+    return dst;
+}
+
+// ---------------------------------------------------------------- strings
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) { n++; }
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && a[i] == b[i]) { i++; }
+    return (int)a[i] - (int)b[i];
+}
+
+void puts(char *s) {
+    int i;
+    i = 0;
+    while (s[i]) {
+        printc((int)s[i]);
+        i++;
+    }
+    printc('\n');
+}
+
+// ---------------------------------------------------------------- misc
+void srand(int seed) {
+    __rand_seed = seed;
+}
+
+int rand() {
+    __rand_seed = __rand_seed * 1103515245 + 12345;
+    return (__rand_seed >> 16) & 32767;
+}
+
+int abs(int x) {
+    if (x < 0) { return -x; }
+    return x;
+}
+"""

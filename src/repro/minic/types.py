@@ -1,0 +1,255 @@
+"""MiniC type system.
+
+Types are immutable-ish descriptor objects with size/alignment.  The
+struct table lives in the semantic analyzer; :class:`StructType` is
+completed (fields laid out) on definition and may be referenced before
+completion for self-referential pointers (``struct node *next``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic.errors import TypeError_
+
+WORD = 4
+
+
+class Type:
+    """Base type descriptor."""
+
+    size = 0
+    align = 1
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_struct(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_scalar(self) -> bool:
+        """Usable in arithmetic / conditions / assignment by value."""
+        return self.is_integer() or self.is_pointer()
+
+    def decayed(self) -> "Type":
+        """Array-to-pointer decay; identity for non-arrays."""
+        return self
+
+
+class IntType(Type):
+    size = WORD
+    align = WORD
+
+    def is_integer(self):
+        return True
+
+    def __repr__(self):
+        return "int"
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+
+class CharType(Type):
+    """Unsigned byte (documented divergence: C's char may be signed)."""
+
+    size = 1
+    align = 1
+
+    def is_integer(self):
+        return True
+
+    def __repr__(self):
+        return "char"
+
+    def __eq__(self, other):
+        return isinstance(other, CharType)
+
+    def __hash__(self):
+        return hash("char")
+
+
+class VoidType(Type):
+    size = 0
+    align = 1
+
+    def is_void(self):
+        return True
+
+    def __repr__(self):
+        return "void"
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+
+class PointerType(Type):
+    size = WORD
+    align = WORD
+
+    def __init__(self, target: Type):
+        self.target = target
+
+    def is_pointer(self):
+        return True
+
+    def __repr__(self):
+        return "%r*" % (self.target,)
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and \
+            self.target == other.target
+
+    def __hash__(self):
+        return hash(("ptr", self.target))
+
+
+class ArrayType(Type):
+    """Array; size is computed lazily because the element may be a
+    struct that is completed only during semantic analysis."""
+
+    def __init__(self, element: Type, length: int):
+        self.element = element
+        self.length = length
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.length
+
+    @property
+    def align(self) -> int:
+        return max(self.element.align, 1)
+
+    def is_array(self):
+        return True
+
+    def decayed(self) -> Type:
+        return PointerType(self.element)
+
+    def __repr__(self):
+        return "%r[%d]" % (self.element, self.length)
+
+    def __eq__(self, other):
+        return isinstance(other, ArrayType) and \
+            self.element == other.element and self.length == other.length
+
+    def __hash__(self):
+        return hash(("arr", self.element, self.length))
+
+
+class StructField:
+    __slots__ = ("name", "type", "offset")
+
+    def __init__(self, name: str, type_: Type, offset: int):
+        self.name = name
+        self.type = type_
+        self.offset = offset
+
+
+class StructType(Type):
+    """A (possibly forward-declared) struct.
+
+    ``complete()`` lays out fields with natural alignment and rounds
+    the total size up to word alignment, like a conventional 32-bit
+    C ABI.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: Dict[str, StructField] = {}
+        self.size = 0
+        self.align = 1
+        self.is_complete = False
+
+    def is_struct(self):
+        return True
+
+    def complete(self, members: List[Tuple[Type, str]],
+                 line: Optional[int] = None) -> None:
+        if self.is_complete:
+            raise TypeError_("struct %s redefined" % self.name, line)
+        offset = 0
+        align = 1
+        for ftype, fname in members:
+            elem = ftype
+            while isinstance(elem, ArrayType):
+                elem = elem.element
+            if isinstance(elem, StructType) and not elem.is_complete:
+                raise TypeError_(
+                    "field %s has incomplete type %r" % (fname, elem),
+                    line)
+            if ftype.size == 0 and not ftype.is_array():
+                raise TypeError_(
+                    "field %s has incomplete type %r" % (fname, ftype),
+                    line)
+            if fname in self.fields:
+                raise TypeError_("duplicate field %s" % fname, line)
+            offset = _round_up(offset, ftype.align)
+            self.fields[fname] = StructField(fname, ftype, offset)
+            offset += ftype.size
+            align = max(align, ftype.align)
+        self.align = max(align, 1)
+        self.size = _round_up(max(offset, 1), max(align, WORD))
+        self.is_complete = True
+
+    def field(self, name: str, line: Optional[int] = None) -> StructField:
+        if not self.is_complete:
+            raise TypeError_("struct %s is incomplete" % self.name, line)
+        if name not in self.fields:
+            raise TypeError_("struct %s has no field %s"
+                             % (self.name, name), line)
+        return self.fields[name]
+
+    def __repr__(self):
+        return "struct %s" % self.name
+
+    def __eq__(self, other):
+        return self is other
+
+    def __hash__(self):
+        return id(self)
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+def compatible_assign(dst: Type, src: Type) -> bool:
+    """Assignment compatibility (deliberately permissive, C-like).
+
+    Integers interconvert; any pointer converts to/from ``void*``;
+    identical pointers convert; integers do *not* silently convert to
+    pointers (C would warn; we require an explicit cast so that the
+    paper's "casting an int constant to an int*" example is an
+    explicit, visible operation).
+    """
+    if dst.is_integer() and src.is_integer():
+        return True
+    if dst.is_pointer() and src.is_pointer():
+        if isinstance(dst.target, VoidType) or \
+                isinstance(src.target, VoidType):
+            return True
+        return dst == src
+    if dst.is_integer() and src.is_pointer():
+        return dst == INT
+    return False

@@ -1,0 +1,27 @@
+"""The Olden benchmark suite, rewritten in MiniC (Section 5.1).
+
+The paper evaluates on the nine pointer-intensive Olden benchmarks.
+We reproduce each benchmark's *allocation and traversal structure* —
+trees, lists, graphs, hash tables — at reduced problem sizes so the
+Python-hosted simulator finishes in seconds, and with fixed-point
+integer arithmetic where Olden uses floats (the bounds machinery never
+sees float values, only pointers; see DESIGN.md substitutions).
+
+Every workload prints a deterministic checksum, so the same binary
+must produce identical output on the plain core and on every
+HardBound configuration — a strong end-to-end check that
+instrumentation never changes program semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.registry import Workload, WORKLOADS, get_workload
+
+__all__ = ["Workload", "WORKLOADS", "get_workload", "workload_names"]
+
+
+def workload_names() -> List[str]:
+    """The benchmark names in the paper's figure order."""
+    return list(WORKLOADS)

@@ -1,0 +1,199 @@
+"""bh: Barnes-Hut hierarchical N-body simulation (Olden).
+
+Bodies are inserted into a region quadtree (2-D instead of Olden's
+3-D octree; same pointer structure per level); centres of mass are
+computed bottom-up; forces use the Barnes-Hut opening criterion
+(cell treated as a point mass when ``size**2 < theta**2 * dist**2``).
+Olden's floating-point vectors become plain integers with an integer
+square root.
+"""
+
+N_BODIES = 14
+TIME_STEPS = 2
+SPACE = 1 << 10
+
+SOURCE = """
+struct body {
+    int x;
+    int y;
+    int vx;
+    int vy;
+    int mass;
+    struct body *next;
+};
+
+struct cell {
+    struct cell *child[4];
+    struct body *b;            // set for leaf cells
+    struct cell *parent;
+    int mass;
+    int cx;
+    int cy;
+    int x;
+    int y;
+    int size;
+    int depth;
+    int nbody;
+};
+
+int __seed;
+
+int nextrand() {
+    __seed = __seed * 1103515245 + 12345;
+    return (__seed >> 8) & 32767;
+}
+
+int isqrt(int v) {
+    if (v <= 0) { return 0; }
+    int r = v;
+    int last = 0;
+    while (r != last) {
+        last = r;
+        r = (r + v / r) / 2;
+    }
+    return r;
+}
+
+struct cell *make_cell(int x, int y, int size) {
+    struct cell *c = (struct cell*)malloc(sizeof(struct cell));
+    for (int i = 0; i < 4; i++) { c->child[i] = (struct cell*)0; }
+    c->b = (struct body*)0;
+    c->parent = (struct cell*)0;
+    c->mass = 0;
+    c->cx = 0;
+    c->cy = 0;
+    c->x = x;
+    c->y = y;
+    c->size = size;
+    c->depth = 0;
+    c->nbody = 0;
+    return c;
+}
+
+int quadrant(struct cell *c, struct body *b) {
+    int h = c->size / 2;
+    int q = 0;
+    if (b->x >= c->x + h) { q += 1; }
+    if (b->y >= c->y + h) { q += 2; }
+    return q;
+}
+
+void insert(struct cell *c, struct body *b) {
+    c->nbody++;
+    if (c->size <= 1) {            // degenerate: merge masses
+        c->mass += b->mass;
+        return;
+    }
+    if (!c->b && !c->child[0] && !c->child[1] && !c->child[2]
+            && !c->child[3]) {
+        c->b = b;                  // empty leaf takes the body
+        return;
+    }
+    if (c->b) {                    // split: push the old body down
+        struct body *old = c->b;
+        c->b = (struct body*)0;
+        int q = quadrant(c, old);
+        int h = c->size / 2;
+        c->child[q] = make_cell(c->x + (q & 1) * h,
+                                c->y + (q / 2) * h, h);
+        c->child[q]->parent = c;
+        c->child[q]->depth = c->depth + 1;
+        insert(c->child[q], old);
+    }
+    int q = quadrant(c, b);
+    int h = c->size / 2;
+    if (!c->child[q]) {
+        c->child[q] = make_cell(c->x + (q & 1) * h,
+                                c->y + (q / 2) * h, h);
+        c->child[q]->parent = c;
+        c->child[q]->depth = c->depth + 1;
+    }
+    insert(c->child[q], b);
+}
+
+void center_of_mass(struct cell *c) {
+    if (c->b) {
+        c->mass = c->b->mass;
+        c->cx = c->b->x;
+        c->cy = c->b->y;
+        return;
+    }
+    int m = c->mass;               // degenerate merged mass (if any)
+    int sx = c->cx * m;
+    int sy = c->cy * m;
+    for (int i = 0; i < 4; i++) {
+        if (c->child[i]) {
+            center_of_mass(c->child[i]);
+            m += c->child[i]->mass;
+            sx += c->child[i]->cx * c->child[i]->mass;
+            sy += c->child[i]->cy * c->child[i]->mass;
+        }
+    }
+    c->mass = m;
+    if (m > 0) {
+        c->cx = sx / m;
+        c->cy = sy / m;
+    }
+}
+
+int __ax;
+int __ay;
+
+void force_walk(struct cell *c, struct body *b) {
+    if (!c || c->mass == 0) { return; }
+    if (c->b == b) { return; }
+    int dx = c->cx - b->x;
+    int dy = c->cy - b->y;
+    int d2 = dx * dx + dy * dy + 16;     // softening
+    // opening criterion: size^2 < theta^2 * d2 with theta = 1/2
+    if (c->b || c->size * c->size * 4 < d2) {
+        int d = isqrt(d2);
+        int f = (c->mass << 10) / d2;    // G*m / d^2, fixed point
+        __ax += f * dx / d;
+        __ay += f * dy / d;
+        return;
+    }
+    for (int i = 0; i < 4; i++) { force_walk(c->child[i], b); }
+}
+
+int main() {
+    __seed = 31415;
+    struct body *bodies = (struct body*)0;
+    for (int i = 0; i < %(n)d; i++) {
+        struct body *b = (struct body*)malloc(sizeof(struct body));
+        b->x = nextrand() %% %(space)d;
+        b->y = nextrand() %% %(space)d;
+        b->vx = 0;
+        b->vy = 0;
+        b->mass = (nextrand() & 63) + 16;
+        b->next = bodies;
+        bodies = b;
+    }
+    for (int step = 0; step < %(steps)d; step++) {
+        struct cell *root = make_cell(0, 0, %(space)d);
+        for (struct body *b = bodies; b; b = b->next) {
+            if (b->x >= 0 && b->x < %(space)d && b->y >= 0
+                    && b->y < %(space)d) {
+                insert(root, b);
+            }
+        }
+        center_of_mass(root);
+        for (struct body *b = bodies; b; b = b->next) {
+            __ax = 0;
+            __ay = 0;
+            force_walk(root, b);
+            b->vx += __ax >> 6;
+            b->vy += __ay >> 6;
+            b->x += b->vx >> 4;
+            b->y += b->vy >> 4;
+        }
+    }
+    int chk = 0;
+    for (struct body *b = bodies; b; b = b->next) {
+        chk = (chk * 31 + (b->x & 1023) * 7 + (b->y & 1023))
+              %% 1000003;
+    }
+    print(chk);
+    return 0;
+}
+""" % {"n": N_BODIES, "steps": TIME_STEPS, "space": SPACE}

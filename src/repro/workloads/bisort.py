@@ -1,0 +1,138 @@
+"""bisort: bitonic sort over a binary tree (Olden).
+
+The authentic Olden algorithm: a complete binary tree holds random
+values; ``bisort`` recursively sorts the two halves in opposite
+directions and ``bimerge`` merges them by swapping values and whole
+subtrees while walking two cursors down the tree.  Heavy on pointer
+swaps and value/pointer mixing.
+"""
+
+LEVELS = 7  # 2**7 - 1 = 127 in-tree values + the spare value
+
+SOURCE = """
+struct node {
+    int value;
+    struct node *left;
+    struct node *right;
+};
+
+int __nextval;
+
+int nextval() {
+    __nextval = __nextval * 1103515245 + 12345;
+    return (__nextval >> 8) & 16383;
+}
+
+struct node *build(int level) {
+    if (level == 0) { return (struct node*)0; }
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->value = nextval();
+    n->left = build(level - 1);
+    n->right = build(level - 1);
+    return n;
+}
+
+int bimerge(struct node *root, int sprval, int dir) {
+    int rightexchange;
+    int elementexchange;
+    int temp;
+    struct node *pl;
+    struct node *pr;
+    struct node *tmpn;
+    rightexchange = ((root->value > sprval) != dir);
+    if (rightexchange) {
+        temp = root->value;
+        root->value = sprval;
+        sprval = temp;
+    }
+    pl = root->left;
+    pr = root->right;
+    while (pl) {
+        elementexchange = ((pl->value > pr->value) != dir);
+        if (rightexchange) {
+            if (elementexchange) {
+                temp = pl->value;
+                pl->value = pr->value;
+                pr->value = temp;
+                tmpn = pl->right;
+                pl->right = pr->right;
+                pr->right = tmpn;
+                pl = pl->left;
+                pr = pr->left;
+            } else {
+                pl = pl->right;
+                pr = pr->right;
+            }
+        } else {
+            if (elementexchange) {
+                temp = pl->value;
+                pl->value = pr->value;
+                pr->value = temp;
+                tmpn = pl->left;
+                pl->left = pr->left;
+                pr->left = tmpn;
+                pl = pl->right;
+                pr = pr->right;
+            } else {
+                pl = pl->left;
+                pr = pr->left;
+            }
+        }
+    }
+    if (root->left) {
+        root->value = bimerge(root->left, root->value, dir);
+        sprval = bimerge(root->right, sprval, dir);
+    }
+    return sprval;
+}
+
+int bisort(struct node *root, int sprval, int dir) {
+    int temp;
+    if (!root->left) {
+        if ((root->value > sprval) != dir) {
+            temp = root->value;
+            root->value = sprval;
+            sprval = temp;
+        }
+    } else {
+        root->value = bisort(root->left, root->value, dir);
+        sprval = bisort(root->right, sprval, !dir);
+        sprval = bimerge(root, sprval, dir);
+    }
+    return sprval;
+}
+
+int __pos;
+int __checksum;
+int __sorted;
+int __prev;
+
+void walk(struct node *t) {
+    if (!t) { return; }
+    walk(t->left);
+    __pos = __pos + 1;
+    __checksum = (__checksum + t->value * __pos) %% 1000003;
+    if (t->value < __prev) { __sorted = 0; }
+    __prev = t->value;
+    walk(t->right);
+}
+
+int main() {
+    __nextval = 12345;
+    struct node *root = build(%(levels)d);
+    int spare = nextval();
+    spare = bisort(root, spare, 0);
+    __pos = 0;
+    __checksum = 0;
+    __sorted = 1;
+    __prev = -1;
+    walk(root);
+    if (spare < __prev) { __sorted = 0; }
+    print(__sorted);
+    print(__checksum);
+    return 0;
+}
+""" % {"levels": LEVELS}
+
+#: first line asserts sortedness; checksum validated cross-config
+EXPECTED_FIRST_LINE = "1"

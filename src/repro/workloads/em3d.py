@@ -1,0 +1,94 @@
+"""em3d: electromagnetic wave propagation on a bipartite graph (Olden).
+
+Two linked lists of nodes (E-field and H-field); each node depends on
+a fixed number of random nodes from the other list, with per-edge
+coefficients.  Each iteration updates every node from its dependencies
+— the classic irregular-gather kernel.  Olden's doubles become 16.16
+fixed point.
+"""
+
+#: Olden em3d nodes carry pointer+coefficient arrays sized by the
+#: out-degree; degree 7 gives 64-byte nodes (matching Olden's typical
+#: node footprint), which only the 11-bit encoding can compress.
+N_NODES = 32    # per side
+DEGREE = 7
+ITERATIONS = 6
+
+SOURCE = """
+struct enode {
+    int value;
+    struct enode *next;
+    struct enode *from[%(degree)d];
+    int coeff[%(degree)d];
+};
+
+int __seed;
+
+int nextrand() {
+    __seed = __seed * 1103515245 + 12345;
+    return (__seed >> 8) & 32767;
+}
+
+struct enode *make_list(int n) {
+    struct enode *head = (struct enode*)0;
+    for (int i = 0; i < n; i++) {
+        struct enode *e = (struct enode*)malloc(sizeof(struct enode));
+        e->value = nextrand();
+        e->next = head;
+        for (int d = 0; d < %(degree)d; d++) {
+            e->from[d] = (struct enode*)0;
+            e->coeff[d] = (nextrand() & 255) + 1;   // ~[1/256, 1)
+        }
+        head = e;
+    }
+    return head;
+}
+
+struct enode *pick(struct enode *list, int index, int n) {
+    struct enode *e = list;
+    int skip = index %% n;
+    for (int i = 0; i < skip; i++) { e = e->next; }
+    return e;
+}
+
+void link_deps(struct enode *to_list, struct enode *from_list, int n) {
+    for (struct enode *e = to_list; e; e = e->next) {
+        for (int d = 0; d < %(degree)d; d++) {
+            e->from[d] = pick(from_list, nextrand(), n);
+        }
+    }
+}
+
+void compute(struct enode *list) {
+    for (struct enode *e = list; e; e = e->next) {
+        int acc = 0;
+        for (int d = 0; d < %(degree)d; d++) {
+            acc += (e->coeff[d] * e->from[d]->value) >> 8;
+        }
+        e->value = e->value - (acc >> 2);
+    }
+}
+
+int checksum(struct enode *list) {
+    int sum = 0;
+    for (struct enode *e = list; e; e = e->next) {
+        sum = (sum * 31 + (e->value & 65535)) %% 1000003;
+    }
+    return sum;
+}
+
+int main() {
+    __seed = 777;
+    struct enode *elist = make_list(%(n)d);
+    struct enode *hlist = make_list(%(n)d);
+    link_deps(elist, hlist, %(n)d);
+    link_deps(hlist, elist, %(n)d);
+    for (int it = 0; it < %(iters)d; it++) {
+        compute(elist);
+        compute(hlist);
+    }
+    print(checksum(elist));
+    print(checksum(hlist));
+    return 0;
+}
+""" % {"n": N_NODES, "degree": DEGREE, "iters": ITERATIONS}

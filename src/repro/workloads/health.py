@@ -1,0 +1,153 @@
+"""health: Colombian health-care simulation (Olden).
+
+A 4-ary tree of villages; each village owns linked lists of patients
+(waiting, assessment, treatment).  Every time step, patients are
+generated at the leaves, treated locally or referred up the hierarchy
+— an allocation-heavy linked-list shuffling workload.
+"""
+
+LEVELS = 4       # 1 + 4 + 16 + 64 villages
+TIME_STEPS = 24
+
+SOURCE = """
+struct patient {
+    int time;
+    int time_left;
+    int hosps_visited;
+    struct patient *next;
+};
+
+struct village {
+    struct village *child[4];
+    struct village *parent;
+    struct patient *waiting;
+    struct patient *assess;
+    struct patient *inside;
+    struct patient *done;
+    int label;
+    int seed;
+    int stats[4];              // treated/time/hosps/steps per village
+};
+
+int __treated;
+int __total_time;
+int __total_hosps;
+
+int vrand(struct village *v) {
+    v->seed = v->seed * 1103515245 + 12345;
+    return (v->seed >> 8) & 32767;
+}
+
+struct village *build(int level, int label, struct village *parent) {
+    struct village *v = (struct village*)malloc(sizeof(struct village));
+    v->parent = parent;
+    v->waiting = (struct patient*)0;
+    v->assess = (struct patient*)0;
+    v->inside = (struct patient*)0;
+    v->done = (struct patient*)0;
+    v->label = label;
+    v->seed = label * 2654435761 + 17;
+    for (int i = 0; i < 4; i++) { v->stats[i] = 0; }
+    for (int i = 0; i < 4; i++) {
+        if (level > 1) {
+            v->child[i] = build(level - 1, label * 4 + i + 1, v);
+        } else {
+            v->child[i] = (struct village*)0;
+        }
+    }
+    return v;
+}
+
+void put_list(struct patient **list, struct patient *p) {
+    p->next = *list;
+    *list = p;
+}
+
+struct patient *generate(struct village *v) {
+    if ((vrand(v) & 15) < 3) {       // ~19%% arrival rate at leaves
+        struct patient *p = (struct patient*)
+            malloc(sizeof(struct patient));
+        p->time = 0;
+        p->time_left = 0;
+        p->hosps_visited = 0;
+        p->next = (struct patient*)0;
+        return p;
+    }
+    return (struct patient*)0;
+}
+
+void check_patients_inside(struct village *v) {
+    struct patient *p = v->inside;
+    struct patient *prev = (struct patient*)0;
+    while (p) {
+        struct patient *nxt = p->next;
+        p->time_left--;
+        p->time++;
+        if (p->time_left <= 0) {
+            if (prev) { prev->next = nxt; } else { v->inside = nxt; }
+            __treated++;
+            __total_time += p->time;
+            __total_hosps += p->hosps_visited;
+            v->stats[0]++;
+            v->stats[1] += p->time;
+            put_list(&v->done, p);
+        } else {
+            prev = p;
+        }
+        p = nxt;
+    }
+}
+
+void check_patients_assess(struct village *v) {
+    struct patient *p = v->assess;
+    v->assess = (struct patient*)0;
+    while (p) {
+        struct patient *nxt = p->next;
+        p->time++;
+        int r = vrand(v);
+        if ((r & 15) < 10 || !v->parent) {   // treat locally
+            p->time_left = (r >> 4 & 3) + 2;
+            put_list(&v->inside, p);
+        } else {                              // refer upward
+            p->hosps_visited++;
+            put_list(&v->parent->waiting, p);
+        }
+        p = nxt;
+    }
+}
+
+void check_patients_waiting(struct village *v) {
+    struct patient *p = v->waiting;
+    v->waiting = (struct patient*)0;
+    while (p) {
+        struct patient *nxt = p->next;
+        p->time++;
+        put_list(&v->assess, p);
+        p = nxt;
+    }
+}
+
+void sim(struct village *v) {
+    if (!v) { return; }
+    for (int i = 0; i < 4; i++) { sim(v->child[i]); }
+    check_patients_inside(v);
+    check_patients_assess(v);
+    check_patients_waiting(v);
+    if (!v->child[0]) {                  // leaf: new arrivals
+        struct patient *p = generate(v);
+        if (p) { put_list(&v->waiting, p); p->hosps_visited++; }
+    }
+}
+
+int main() {
+    __treated = 0;
+    __total_time = 0;
+    __total_hosps = 0;
+    struct village *top = build(%(levels)d, 0, (struct village*)0);
+    for (int t = 0; t < %(steps)d; t++) { sim(top); }
+    print(__treated);
+    print(__total_time);
+    print(__total_hosps);
+    return 0;
+}
+""" % {"levels": LEVELS, "steps": TIME_STEPS}

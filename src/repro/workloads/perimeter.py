@@ -1,0 +1,125 @@
+"""perimeter: perimeter of a quadtree-encoded image (Olden).
+
+Builds a region quadtree over a synthetic image (a disc), then
+computes the total perimeter of the black region: each black leaf
+contributes its four sides, minus twice the black-black contact
+length along shared internal edges.  Contact lengths are computed by
+recursive edge walks — the pointer-chasing pattern Olden's Samet
+algorithm exercises.
+"""
+
+DEPTH = 5   # 32x32 image
+
+SOURCE = """
+struct quad {
+    struct quad *child[4];     // 0:NW 1:NE 2:SW 3:SE
+    int color;                 // 0 white, 1 black, 2 grey
+    int size;
+};
+
+// image predicate: a disc centred in the 32x32 grid
+int pixel(int x, int y) {
+    int dx = x - 16;
+    int dy = y - 16;
+    return dx * dx + dy * dy <= 144;
+}
+
+int uniform(int x, int y, int size) {
+    int first = pixel(x, y);
+    for (int i = 0; i < size; i++) {
+        for (int j = 0; j < size; j++) {
+            if (pixel(x + i, y + j) != first) { return -1; }
+        }
+    }
+    return first;
+}
+
+struct quad *build(int x, int y, int size) {
+    struct quad *q = (struct quad*)malloc(sizeof(struct quad));
+    q->size = size;
+    int u = uniform(x, y, size);
+    if (u >= 0 || size == 1) {
+        q->color = u >= 0 ? u : pixel(x, y);
+        for (int i = 0; i < 4; i++) { q->child[i] = (struct quad*)0; }
+        return q;
+    }
+    q->color = 2;
+    int h = size / 2;
+    q->child[0] = build(x, y, h);
+    q->child[1] = build(x + h, y, h);
+    q->child[2] = build(x, y + h, h);
+    q->child[3] = build(x + h, y + h, h);
+    return q;
+}
+
+// length of black coverage along one side of a subtree
+// side: 0 north, 1 south, 2 west, 3 east
+int edge_black(struct quad *q, int side) {
+    if (q->color == 0) { return 0; }
+    if (q->color == 1) { return q->size; }
+    if (side == 0) {
+        return edge_black(q->child[0], 0) + edge_black(q->child[1], 0);
+    }
+    if (side == 1) {
+        return edge_black(q->child[2], 1) + edge_black(q->child[3], 1);
+    }
+    if (side == 2) {
+        return edge_black(q->child[0], 2) + edge_black(q->child[2], 2);
+    }
+    return edge_black(q->child[1], 3) + edge_black(q->child[3], 3);
+}
+
+// black-black contact length between two edge-adjacent subtrees;
+// a is on the north/west side, b on the south/east side
+int contact(struct quad *a, struct quad *b, int vertical) {
+    if (a->color == 0 || b->color == 0) { return 0; }
+    if (a->color == 1 && b->color == 1) {
+        return a->size < b->size ? a->size : b->size;
+    }
+    if (vertical) {     // a above b: a's south edge meets b's north
+        if (a->color == 1) {
+            return edge_black(b, 0);
+        }
+        if (b->color == 1) {
+            return edge_black(a, 1);
+        }
+        return contact(a->child[2], b->child[0], 1)
+             + contact(a->child[3], b->child[1], 1);
+    }
+    if (a->color == 1) {
+        return edge_black(b, 2);
+    }
+    if (b->color == 1) {
+        return edge_black(a, 3);
+    }
+    return contact(a->child[1], b->child[0], 0)
+         + contact(a->child[3], b->child[2], 0);
+}
+
+// sum of 4*size over black leaves, minus internal contacts
+int perimeter(struct quad *q) {
+    if (q->color == 0) { return 0; }
+    if (q->color == 1) { return 4 * q->size; }
+    int p = 0;
+    for (int i = 0; i < 4; i++) { p += perimeter(q->child[i]); }
+    p -= 2 * contact(q->child[0], q->child[1], 0);   // NW | NE
+    p -= 2 * contact(q->child[2], q->child[3], 0);   // SW | SE
+    p -= 2 * contact(q->child[0], q->child[2], 1);   // NW / SW
+    p -= 2 * contact(q->child[1], q->child[3], 1);   // NE / SE
+    return p;
+}
+
+int count_leaves(struct quad *q) {
+    if (q->color != 2) { return 1; }
+    int n = 0;
+    for (int i = 0; i < 4; i++) { n += count_leaves(q->child[i]); }
+    return n;
+}
+
+int main() {
+    struct quad *root = build(0, 0, %(size)d);
+    print(perimeter(root));
+    print(count_leaves(root));
+    return 0;
+}
+""" % {"size": 1 << DEPTH}

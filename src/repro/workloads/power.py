@@ -1,0 +1,148 @@
+"""power: power-system pricing optimization (Olden).
+
+A fixed hierarchy — root, feeders, laterals, branches, leaves — where
+demand flows up and prices flow down until the root converges on a
+target load.  Olden's floating-point optimization becomes 16.16 fixed
+point; the hierarchy and per-level linked lists are preserved.
+"""
+
+FEEDERS = 4
+LATERALS = 4
+BRANCHES = 3
+LEAVES = 4
+ITERATIONS = 10
+
+SOURCE = """
+struct leaf {
+    struct leaf *next;
+    int base;       // fixed-point base demand
+    int demand;
+};
+
+struct branch {
+    struct branch *next;
+    struct leaf *leaves;
+    int demand;
+};
+
+struct lateral {
+    struct lateral *next;
+    struct branch *branches;
+    int demand;
+};
+
+struct feeder {
+    struct feeder *next;
+    struct lateral *laterals;
+    int demand;
+};
+
+int __seed;
+
+int nextrand() {
+    __seed = __seed * 1103515245 + 12345;
+    return (__seed >> 8) & 32767;
+}
+
+struct leaf *make_leaves(int n) {
+    struct leaf *head = (struct leaf*)0;
+    for (int i = 0; i < n; i++) {
+        struct leaf *l = (struct leaf*)malloc(sizeof(struct leaf));
+        l->base = (nextrand() & 1023) + 512;
+        l->demand = l->base;
+        l->next = head;
+        head = l;
+    }
+    return head;
+}
+
+struct branch *make_branches(int n) {
+    struct branch *head = (struct branch*)0;
+    for (int i = 0; i < n; i++) {
+        struct branch *b = (struct branch*)malloc(sizeof(struct branch));
+        b->leaves = make_leaves(%(leaves)d);
+        b->demand = 0;
+        b->next = head;
+        head = b;
+    }
+    return head;
+}
+
+struct lateral *make_laterals(int n) {
+    struct lateral *head = (struct lateral*)0;
+    for (int i = 0; i < n; i++) {
+        struct lateral *l = (struct lateral*)
+            malloc(sizeof(struct lateral));
+        l->branches = make_branches(%(branches)d);
+        l->demand = 0;
+        l->next = head;
+        head = l;
+    }
+    return head;
+}
+
+struct feeder *make_feeders(int n) {
+    struct feeder *head = (struct feeder*)0;
+    for (int i = 0; i < n; i++) {
+        struct feeder *f = (struct feeder*)malloc(sizeof(struct feeder));
+        f->laterals = make_laterals(%(laterals)d);
+        f->demand = 0;
+        f->next = head;
+        head = f;
+    }
+    return head;
+}
+
+// downward: apply price; upward: accumulate demand
+int compute_leaf(struct leaf *l, int price) {
+    l->demand = l->base - ((price * 3) >> 4);
+    if (l->demand < 0) { l->demand = 0; }
+    return l->demand;
+}
+
+int compute_branch(struct branch *b, int price) {
+    int d = 0;
+    for (struct leaf *l = b->leaves; l; l = l->next) {
+        d += compute_leaf(l, price);
+    }
+    b->demand = d;
+    return d;
+}
+
+int compute_lateral(struct lateral *lat, int price) {
+    int d = 0;
+    for (struct branch *b = lat->branches; b; b = b->next) {
+        d += compute_branch(b, price + 8);     // line-loss surcharge
+    }
+    lat->demand = d;
+    return d;
+}
+
+int compute_feeder(struct feeder *f, int price) {
+    int d = 0;
+    for (struct lateral *l = f->laterals; l; l = l->next) {
+        d += compute_lateral(l, price + 16);
+    }
+    f->demand = d;
+    return d;
+}
+
+int main() {
+    __seed = 161803;
+    struct feeder *root = make_feeders(%(feeders)d);
+    int target = 100000;
+    int price = 0;
+    int total = 0;
+    for (int it = 0; it < %(iters)d; it++) {
+        total = 0;
+        for (struct feeder *f = root; f; f = f->next) {
+            total += compute_feeder(f, price);
+        }
+        price += (total - target) / 256;     // gradient step
+    }
+    print(total);
+    print(price);
+    return 0;
+}
+""" % {"feeders": FEEDERS, "laterals": LATERALS, "branches": BRANCHES,
+       "leaves": LEAVES, "iters": ITERATIONS}

@@ -1,0 +1,78 @@
+"""Workload registry: the nine Olden benchmarks in figure order."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.workloads import (
+    bh,
+    bisort,
+    em3d,
+    health,
+    mst,
+    perimeter,
+    power,
+    treeadd,
+    tsp,
+)
+
+
+class Workload:
+    """A runnable benchmark: name, MiniC source, description."""
+
+    def __init__(self, name: str, source: str, description: str,
+                 expected_output: Optional[str] = None):
+        self.name = name
+        self.source = source
+        self.description = description
+        self.expected_output = expected_output
+
+    def __repr__(self):
+        return "<Workload %s>" % self.name
+
+
+#: figure order of the paper (Figures 5-7)
+WORKLOADS: Dict[str, Workload] = {
+    "bh": Workload(
+        "bh", bh.SOURCE,
+        "Barnes-Hut hierarchical N-body (quadtree)"),
+    "bisort": Workload(
+        "bisort", bisort.SOURCE,
+        "bitonic sort over a binary tree"),
+    "em3d": Workload(
+        "em3d", em3d.SOURCE,
+        "electromagnetic propagation on a bipartite graph"),
+    "health": Workload(
+        "health", health.SOURCE,
+        "hospital simulation over linked lists"),
+    "mst": Workload(
+        "mst", mst.SOURCE,
+        "minimum spanning tree with per-vertex hash tables"),
+    "perimeter": Workload(
+        "perimeter", perimeter.SOURCE,
+        "perimeter of a quadtree-encoded image"),
+    "power": Workload(
+        "power", power.SOURCE,
+        "power-system pricing over a four-level hierarchy"),
+    "treeadd": Workload(
+        "treeadd", treeadd.SOURCE,
+        "recursive sum over a binary tree",
+        expected_output=treeadd.EXPECTED_OUTPUT),
+    "tsp": Workload(
+        "tsp", tsp.SOURCE,
+        "cheapest-insertion travelling-salesman tour"),
+}
+
+#: ablation variant for E10 (Section 5.3's mst tightening)
+MST_UNTIGHTENED = Workload(
+    "mst-untightened", mst.UNTIGHTENED_SOURCE,
+    "mst with conservative whole-array bucket pointers")
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (raises KeyError with the list)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (have: %s)"
+                       % (name, ", ".join(WORKLOADS)))

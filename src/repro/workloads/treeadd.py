@@ -1,0 +1,44 @@
+"""treeadd: recursive sum over a balanced binary tree (Olden).
+
+The simplest Olden benchmark: allocate a complete binary tree on the
+heap, then recursively add up the node values.  Exercises heap
+allocation and pointer-chasing recursion.
+"""
+
+LEVELS = 10  # 2**10 - 1 = 1023 nodes
+
+SOURCE = """
+struct tree {
+    int val;
+    struct tree *left;
+    struct tree *right;
+};
+
+struct tree *build(int level) {
+    struct tree *t = (struct tree*)malloc(sizeof(struct tree));
+    t->val = level;
+    if (level <= 1) {
+        t->left = (struct tree*)0;
+        t->right = (struct tree*)0;
+    } else {
+        t->left = build(level - 1);
+        t->right = build(level - 1);
+    }
+    return t;
+}
+
+int treesum(struct tree *t) {
+    if (!t) { return 0; }
+    return t->val + treesum(t->left) + treesum(t->right);
+}
+
+int main() {
+    struct tree *root = build(%(levels)d);
+    print(treesum(root));
+    return 0;
+}
+""" % {"levels": LEVELS}
+
+#: sum over a complete tree where each node at height h holds h
+EXPECTED_OUTPUT = "%d\n" % sum(
+    level * (1 << (LEVELS - level)) for level in range(1, LEVELS + 1))

@@ -1,0 +1,88 @@
+"""tsp: travelling-salesman tour construction (Olden).
+
+Cities live in a circular doubly linked list; each new city is
+inserted at the position minimizing the tour-length increase
+(cheapest-insertion, the pointer-churning heart of Olden's tsp).
+Distances use an integer Newton square root.
+"""
+
+N_CITIES = 22
+
+SOURCE = """
+struct city {
+    int x;
+    int y;
+    struct city *next;
+    struct city *prev;
+};
+
+int __seed;
+
+int nextrand() {
+    __seed = __seed * 1103515245 + 12345;
+    return (__seed >> 8) & 32767;
+}
+
+int isqrt(int v) {
+    if (v <= 0) { return 0; }
+    int r = v;
+    int last = 0;
+    while (r != last) {
+        last = r;
+        r = (r + v / r) / 2;
+    }
+    return r;
+}
+
+int dist(struct city *a, struct city *b) {
+    int dx = a->x - b->x;
+    int dy = a->y - b->y;
+    return isqrt(dx * dx + dy * dy);
+}
+
+struct city *make_city() {
+    struct city *c = (struct city*)malloc(sizeof(struct city));
+    c->x = nextrand() & 1023;
+    c->y = nextrand() & 1023;
+    c->next = c;
+    c->prev = c;
+    return c;
+}
+
+void insert_after(struct city *pos, struct city *c) {
+    c->next = pos->next;
+    c->prev = pos;
+    pos->next->prev = c;
+    pos->next = c;
+}
+
+int tour_length(struct city *start) {
+    int len = dist(start, start->next);
+    for (struct city *c = start->next; c != start; c = c->next) {
+        len += dist(c, c->next);
+    }
+    return len;
+}
+
+int main() {
+    __seed = 271828;
+    struct city *tour = make_city();
+    for (int i = 1; i < %(n)d; i++) {
+        struct city *c = make_city();
+        struct city *best = tour;
+        int best_delta = dist(tour, c) + dist(c, tour->next)
+                       - dist(tour, tour->next);
+        for (struct city *p = tour->next; p != tour; p = p->next) {
+            int delta = dist(p, c) + dist(c, p->next)
+                      - dist(p, p->next);
+            if (delta < best_delta) {
+                best_delta = delta;
+                best = p;
+            }
+        }
+        insert_after(best, c);
+    }
+    print(tour_length(tour));
+    return 0;
+}
+""" % {"n": N_CITIES}

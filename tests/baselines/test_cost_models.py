@@ -1,0 +1,88 @@
+"""Software-baseline cost models: CCured-sim engine and object table."""
+
+from repro.baselines import ObjectTableModel, SoftBoundEngine
+from repro.baselines.fatptr import ccured_sim_config
+from repro.harness.runner import run_workload
+from repro.machine import CPU, MachineConfig
+from repro.minic import compile_program
+
+SRC = """
+int main() {
+    int *a = (int*)malloc(16 * sizeof(int));
+    int sum = 0;
+    for (int i = 0; i < 16; i++) { a[i] = i; }
+    for (int i = 0; i < 16; i++) { sum += a[i]; }
+    return sum & 127;
+}
+"""
+
+
+class TestSoftBoundEngine:
+    def test_config_uses_engine(self):
+        cfg = ccured_sim_config(timing=False)
+        program = compile_program(SRC)
+        cpu = CPU(program, cfg)
+        assert isinstance(cpu.hb, SoftBoundEngine)
+        result = cpu.run()
+        assert result.exit_code == sum(range(16)) & 127
+
+    def test_checks_cost_explicit_uops(self):
+        cfg = ccured_sim_config(timing=False)
+        result = CPU(compile_program(SRC), cfg).run()
+        assert result.hb_stats.check_uops > 0
+        assert result.uops > result.instructions
+
+    def test_no_tag_traffic(self):
+        """Pointer-ness is static in CCured: no tag space probes."""
+        cfg = ccured_sim_config(timing=True)
+        result = CPU(compile_program(SRC), cfg).run()
+        assert result.mem_stats["tag"].accesses == 0
+
+    def test_more_expensive_than_hardbound(self):
+        hb = CPU(compile_program(SRC),
+                 MachineConfig.hardbound(timing=False)).run()
+        cc = CPU(compile_program(SRC),
+                 ccured_sim_config(timing=False)).run()
+        assert cc.uops > hb.uops
+
+    def test_semantics_identical_to_hardbound(self):
+        hb = CPU(compile_program(SRC),
+                 MachineConfig.hardbound(timing=False)).run()
+        cc = CPU(compile_program(SRC),
+                 ccured_sim_config(timing=False)).run()
+        assert hb.exit_code == cc.exit_code
+        assert hb.output == cc.output
+
+
+class TestObjectTableModel:
+    def test_observes_allocations_and_arithmetic(self):
+        model = ObjectTableModel()
+        result = run_workload("treeadd",
+                              MachineConfig.hardbound(timing=False),
+                              observer=model)
+        assert result.exit_code == 0
+        assert model.tree.size > 500          # one entry per tree node
+        assert model.arith_events > 0
+        assert model.extra_uops > 0
+
+    def test_objects_registered_once(self):
+        model = ObjectTableModel()
+        model.on_setbound(0x1000, 16)
+        size_after_first = model.tree.size
+        model.on_setbound(0x1000, 16)         # decay re-setbound
+        assert model.tree.size == size_after_first
+
+    def test_elision_reduces_cost(self):
+        eager = ObjectTableModel(elide_fraction=0.0)
+        lazy = ObjectTableModel(elide_fraction=0.95)
+        for model in (eager, lazy):
+            model.on_setbound(0x1000, 16)
+            for _ in range(100):
+                model.on_pointer_arith(0x1004)
+        assert lazy.extra_uops < eager.extra_uops
+
+    def test_overhead_vs(self):
+        model = ObjectTableModel()
+        model.extra_uops = 500
+        assert model.overhead_vs(1000) == 1.5
+        assert model.overhead_vs(0) == 1.0

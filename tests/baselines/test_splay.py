@@ -1,0 +1,93 @@
+"""Splay tree: correctness against a model, invariants, splaying."""
+
+from hypothesis import given, strategies as st
+
+from repro.baselines import SplayTree
+
+
+def build(intervals):
+    tree = SplayTree()
+    for start, length in intervals:
+        tree.insert(start, start + length)
+    return tree
+
+
+def test_lookup_by_containment():
+    tree = build([(100, 10), (200, 20), (50, 5)])
+    node, _ = tree.lookup(105)
+    assert (node.start, node.end) == (100, 110)
+    node, _ = tree.lookup(219)
+    assert (node.start, node.end) == (200, 220)
+    node, _ = tree.lookup(110)       # one past the end: not contained
+    assert node is None
+    node, _ = tree.lookup(55)
+    assert node is None
+
+
+def test_lookup_splays_to_root():
+    tree = build([(i * 100, 10) for i in range(20)])
+    node, _ = tree.lookup(1505)
+    assert tree.root is node
+
+
+def test_repeated_lookup_gets_cheaper():
+    tree = build([(i * 100, 10) for i in range(64)])
+    _node, first = tree.lookup(3105)
+    _node, second = tree.lookup(3105)
+    assert second == 1
+    assert first >= second
+
+
+def test_remove():
+    tree = build([(100, 10), (200, 10), (300, 10)])
+    assert tree.remove(200) is True
+    assert tree.remove(200) is False
+    node, _ = tree.lookup(205)
+    assert node is None
+    node, _ = tree.lookup(305)
+    assert node is not None
+    assert tree.size == 2
+
+
+intervals = st.lists(
+    st.integers(0, 500),
+    min_size=1, max_size=120, unique=True)
+
+
+@given(starts=intervals)
+def test_insert_lookup_matches_model(starts):
+    tree = SplayTree()
+    for start in starts:
+        tree.insert(start * 16, start * 16 + 8)
+    tree.check_invariants()
+    for start in starts:
+        node, _ = tree.lookup(start * 16 + 3)
+        assert node is not None and node.start == start * 16
+        node, _ = tree.lookup(start * 16 + 12)   # in the gap
+        assert node is None
+
+
+@given(starts=intervals, removals=st.lists(st.integers(0, 500),
+                                           max_size=60))
+def test_insert_remove_sequences(starts, removals):
+    tree = SplayTree()
+    model = {}
+    for start in starts:
+        tree.insert(start * 16, start * 16 + 8)
+        model[start * 16] = start * 16 + 8
+    for victim in removals:
+        removed = tree.remove(victim * 16)
+        assert removed == (victim * 16 in model)
+        model.pop(victim * 16, None)
+    tree.check_invariants()
+    assert tree.size == len(model)
+    assert dict(tree.in_order()) == model
+
+
+@given(starts=intervals)
+def test_in_order_is_sorted(starts):
+    tree = SplayTree()
+    for start in starts:
+        tree.insert(start, start + 1)
+    keys = [s for s, _ in tree.in_order()]
+    assert keys == sorted(keys)

@@ -1,0 +1,96 @@
+"""Memory-system timing: stall accounting, kinds, page tracking."""
+
+from repro.caches import CacheParams, MemorySystem
+
+
+def make():
+    return MemorySystem(CacheParams())
+
+
+def test_cold_access_pays_tlb_l1_l2():
+    ms = make()
+    params = ms.params
+    stall = ms.access(0x10000, 4, False, "data")
+    assert stall == (params.tlb_miss_penalty + params.l1_miss_penalty
+                     + params.l2_miss_penalty)
+
+
+def test_warm_access_is_free():
+    ms = make()
+    ms.access(0x10000, 4, False, "data")
+    assert ms.access(0x10000, 4, False, "data") == 0
+
+
+def test_l1_miss_l2_hit_costs_l1_penalty():
+    ms = make()
+    ms.access(0x10000, 4, False, "data")
+    # evict from L1 by filling its set; L2 is big enough to keep it
+    p = ms.params
+    stride = p.l1_size // p.l1_assoc   # same-set stride
+    for i in range(1, p.l1_assoc + 1):
+        ms.access(0x10000 + i * stride, 4, False, "data")
+    stall = ms.access(0x10000, 4, False, "data")
+    assert stall == p.l1_miss_penalty  # TLB + L2 still warm
+
+
+def test_tag_kind_uses_tag_cache_and_tlb():
+    ms = make()
+    ms.access(0x8000_0000, 1, False, "tag")
+    assert ms.tag_cache.accesses == 1
+    assert ms.tag_tlb.accesses == 1
+    assert ms.l1.accesses == 0
+    assert ms.dtlb.accesses == 0
+    # tag misses go to the unified L2 (Figure 4)
+    assert ms.l2.accesses == 1
+
+
+def test_shadow_kind_shares_l1_and_dtlb():
+    ms = make()
+    ms.access(0x4000_0000, 8, False, "shadow")
+    assert ms.l1.accesses >= 1
+    assert ms.dtlb.accesses == 1
+    assert ms.tag_cache.accesses == 0
+
+
+def test_stats_separated_by_kind():
+    ms = make()
+    ms.access(0x1000, 4, False, "data")
+    ms.access(0x4000_0000, 8, True, "shadow")
+    ms.access(0x8000_0000, 1, False, "tag")
+    assert ms.stats["data"].accesses == 1
+    assert ms.stats["shadow"].accesses == 1
+    assert ms.stats["tag"].accesses == 1
+    assert ms.stats.total_stall_cycles() == sum(
+        ms.stats[k].stall_cycles for k in ("data", "shadow", "tag",
+                                           "soft"))
+
+
+def test_block_straddling_access_touches_two_blocks():
+    ms = make()
+    ms.access(0x1001E, 4, False, "data")   # crosses a 32B boundary
+    assert ms.l1.accesses == 2
+
+
+def test_distinct_page_tracking():
+    ms = make()
+    ms.access(0x1000, 4, False, "data")
+    ms.access(0x1004, 4, False, "data")    # same micro-page
+    ms.access(0x2000, 4, False, "data")    # different page
+    assert ms.stats.distinct_pages("data") == 2
+
+
+def test_metadata_stall_aggregate():
+    ms = make()
+    ms.access(0x8000_0000, 1, False, "tag")
+    ms.access(0x4000_0000, 8, False, "shadow")
+    assert ms.stats.metadata_stall_cycles() == \
+        ms.stats["tag"].stall_cycles + ms.stats["shadow"].stall_cycles
+
+
+def test_reset_stats():
+    ms = make()
+    ms.access(0x1000, 4, False, "data")
+    ms.reset_stats()
+    assert ms.stats["data"].accesses == 0
+    # contents stay warm after reset
+    assert ms.access(0x1000, 4, False, "data") == 0

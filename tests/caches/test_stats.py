@@ -1,0 +1,38 @@
+"""AccessStats / KindStats bookkeeping."""
+
+from repro.caches import AccessStats
+from repro.caches.stats import FIG_PAGE_SHIFT, KINDS
+
+
+def test_kinds():
+    assert KINDS == ("data", "shadow", "tag", "soft")
+    stats = AccessStats()
+    for kind in KINDS:
+        assert stats[kind].accesses == 0
+
+
+def test_micro_page_tracking():
+    stats = AccessStats()
+    page_bytes = 1 << FIG_PAGE_SHIFT
+    stats["data"].touch_page(0)
+    stats["data"].touch_page(page_bytes - 1)
+    stats["data"].touch_page(page_bytes)
+    assert stats.distinct_pages("data") == 2
+
+
+def test_aggregates():
+    stats = AccessStats()
+    stats["tag"].stall_cycles = 5
+    stats["shadow"].stall_cycles = 7
+    stats["data"].stall_cycles = 100
+    assert stats.metadata_stall_cycles() == 12
+    assert stats.total_stall_cycles() == 112
+
+
+def test_as_dict_shape():
+    stats = AccessStats()
+    stats["soft"].accesses = 3
+    d = stats.as_dict()
+    assert d["soft"]["accesses"] == 3
+    assert set(d) == set(KINDS)
+    assert "distinct_pages" in d["data"]

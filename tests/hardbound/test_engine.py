@@ -1,0 +1,143 @@
+"""HardBoundEngine unit tests: checks, metadata movement, accounting."""
+
+import pytest
+
+from repro.caches import MemorySystem
+from repro.hardbound import HardBoundEngine
+from repro.layout import shadow_base_addr, tag1_addr
+from repro.machine import BoundsError, NonPointerError
+from repro.metadata import get_encoding
+
+
+def make(encoding="intern11", memsys=False, **kw):
+    ms = MemorySystem() if memsys else None
+    return HardBoundEngine(get_encoding(encoding), ms, **kw)
+
+
+class TestCheck:
+    def test_in_bounds_passes(self):
+        engine = make()
+        assert engine.check(0x1000, 0x1000, 0x1010, 0x100C, 4,
+                            "read", True) == 0
+        assert engine.stats.checks == 1
+
+    def test_effective_address_semantics(self):
+        """Paper (Fig 2): only the EA is checked, not ea+size."""
+        engine = make()
+        engine.check(0x1000, 0x1000, 0x1004, 0x1002, 4, "read", True)
+
+    def test_extent_extension(self):
+        engine = make(check_access_extent=True)
+        with pytest.raises(BoundsError):
+            engine.check(0x1000, 0x1000, 0x1004, 0x1002, 4,
+                         "read", True)
+
+    def test_upper_violation(self):
+        engine = make()
+        with pytest.raises(BoundsError) as exc:
+            engine.check(0x1000, 0x1000, 0x1010, 0x1010, 1,
+                         "write", True)
+        assert exc.value.bound == 0x1010
+
+    def test_lower_violation(self):
+        engine = make()
+        with pytest.raises(BoundsError):
+            engine.check(0x1000, 0x1000, 0x1010, 0xFFF, 1,
+                         "read", True)
+
+    def test_nonpointer_full_vs_malloc_only(self):
+        engine = make()
+        with pytest.raises(NonPointerError):
+            engine.check(0x1000, 0, 0, 0x1000, 4, "read", True)
+        assert engine.check(0x1000, 0, 0, 0x1000, 4, "read",
+                            False) == 0
+        assert engine.stats.nonpointer_derefs == 1
+
+    def test_check_uop_only_for_uncompressed(self):
+        engine = make("intern11", check_uop=True)
+        # compressible pointer: free check
+        extra = engine.check(0x100_0000, 0x100_0000, 0x100_0010,
+                             0x100_0004, 4, "read", True)
+        assert extra == 0
+        # interior pointer (incompressible): one µop
+        extra = engine.check(0x100_0004, 0x100_0000, 0x100_0010,
+                             0x100_0004, 4, "read", True)
+        assert extra == 1
+        assert engine.stats.check_uops == 1
+
+
+class TestMetadataMovement:
+    def test_word_roundtrip(self):
+        engine = make()
+        engine.store_word_meta(0x2000, 0x100_0000, 0x100_0000,
+                               0x100_0010)
+        assert engine.load_word_meta(0x2000, 0x100_0000) == \
+            (0x100_0000, 0x100_0010)
+
+    def test_nonpointer_store_clears(self):
+        engine = make()
+        engine.store_word_meta(0x2000, 5, 0x10, 0x20)
+        engine.store_word_meta(0x2000, 7, 0, 0)
+        assert engine.load_word_meta(0x2000, 7) == (0, 0)
+
+    def test_sub_word_store_clears(self):
+        engine = make()
+        engine.store_word_meta(0x2000, 5, 0x10, 0x20)
+        engine.store_sub_meta(0x2001)
+        assert engine.load_word_meta(0x2000, 5) == (0, 0)
+
+    def test_compressed_pointer_skips_shadow_and_uop(self):
+        engine = make("intern11", memsys=True)
+        ptr = 0x100_0000
+        engine.store_word_meta(0x2000, ptr, ptr, ptr + 16)
+        engine.load_word_meta(0x2000, ptr)
+        assert engine.stats.meta_uops == 0
+        assert engine.memsys.stats["shadow"].accesses == 0
+        assert engine.stats.compressed_stores == 1
+        assert engine.stats.compressed_loads == 1
+
+    def test_uncompressed_pointer_costs_uop_and_shadow(self):
+        engine = make("uncompressed", memsys=True)
+        ptr = 0x100_0000
+        engine.store_word_meta(0x2000, ptr, ptr, ptr + 16)
+        engine.load_word_meta(0x2000, ptr)
+        assert engine.stats.meta_uops == 2
+        assert engine.memsys.stats["shadow"].accesses == 2
+
+    def test_tag_probe_on_every_access(self):
+        engine = make("intern11", memsys=True)
+        engine.load_word_meta(0x2000, 0)        # non-pointer word
+        engine.load_sub_meta(0x2004)
+        engine.store_sub_meta(0x2008)
+        assert engine.memsys.stats["tag"].accesses == 3
+
+    def test_tag_and_shadow_addresses(self):
+        engine = make("uncompressed", memsys=True)
+        ptr = 0x100_0000
+        engine.store_word_meta(0x2000, ptr, ptr, ptr + 2048)
+        tag_pages = engine.memsys.stats["tag"].pages
+        shadow_pages = engine.memsys.stats["shadow"].pages
+        assert (tag1_addr(0x2000) >> 8) in tag_pages
+        assert (shadow_base_addr(0x2000) >> 8) in shadow_pages
+
+
+class TestStats:
+    def test_compression_ratio(self):
+        engine = make("intern11")
+        ptr = 0x100_0000
+        engine.store_word_meta(0x2000, ptr, ptr, ptr + 16)     # comp
+        engine.store_word_meta(0x2004, ptr + 4, ptr, ptr + 16)  # not
+        assert engine.stats.compression_ratio() == pytest.approx(0.5)
+
+    def test_empty_ratio_is_one(self):
+        assert make().stats.compression_ratio() == 1.0
+
+    def test_extra_uops_sum(self):
+        engine = make()
+        engine.stats.meta_uops = 3
+        engine.stats.check_uops = 2
+        assert engine.stats.extra_uops() == 5
+
+    def test_as_dict(self):
+        d = make().stats.as_dict()
+        assert set(d) >= {"setbound_uops", "meta_uops", "checks"}

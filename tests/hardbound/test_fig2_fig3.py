@@ -1,0 +1,200 @@
+"""The paper's Figure 2 and Figure 3 semantics, executed literally.
+
+Figure 2's example creates a 4-byte bounded pointer at 0x1000 and
+shows which accesses pass and fail; Figure 3 defines propagation
+through add and load/store.  We relocate the example onto the heap
+(our 0x1000 is inside the null guard) — addresses are symbolic in the
+original anyway.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import (
+    CPU,
+    BoundsError,
+    MachineConfig,
+    NonPointerError,
+    SafetyMode,
+)
+from repro.layout import HEAP_BASE
+
+CFG = MachineConfig(mode=SafetyMode.FULL, timing=False)
+
+
+def run_asm(source, config=CFG):
+    cpu = CPU(assemble(source), config)
+    result = cpu.run()
+    return cpu, result
+
+
+PRELUDE = """
+    main:
+        mov r1, 16
+        sbrk r1                ; map one heap chunk
+        mov r1, %d
+        setbound r2, r1, 4     ; R2 <- {A; A; A+4}
+""" % HEAP_BASE
+
+
+def test_fig2_line3_inbounds_load_passes():
+    cpu, _ = run_asm(PRELUDE + """
+        load r3, [r2 + 2]      ; address A+2: check passes
+        halt 0
+    """)
+    assert cpu.regs.value[3] == 0
+
+
+def test_fig2_line4_out_of_bounds_load_fails():
+    with pytest.raises(BoundsError) as exc:
+        run_asm(PRELUDE + """
+        load r3, [r2 + 5]      ; address A+5: check fails
+        halt 0
+        """)
+    assert exc.value.addr == HEAP_BASE + 5
+    assert exc.value.base == HEAP_BASE
+    assert exc.value.bound == HEAP_BASE + 4
+
+
+def test_fig2_line5_add_propagates_bounds():
+    cpu, _ = run_asm(PRELUDE + """
+        add r4, r2, 1          ; R4 <- {A+1; A; A+4}
+        halt 0
+    """)
+    assert cpu.regs.value[4] == HEAP_BASE + 1
+    assert cpu.regs.base[4] == HEAP_BASE
+    assert cpu.regs.bound[4] == HEAP_BASE + 4
+
+
+def test_fig2_line6_incremented_pointer_inbounds():
+    run_asm(PRELUDE + """
+        add r4, r2, 1
+        load r5, [r4 + 2]      ; address A+3: passes
+        halt 0
+    """)
+
+
+def test_fig2_line7_incremented_pointer_oob():
+    with pytest.raises(BoundsError) as exc:
+        run_asm(PRELUDE + """
+        add r4, r2, 1
+        load r5, [r4 + 5]      ; address A+6: fails
+        halt 0
+        """)
+    assert exc.value.addr == HEAP_BASE + 6
+
+
+def test_fig3b_add_prefers_first_bounded_input():
+    cpu, _ = run_asm(PRELUDE + """
+        mov r5, 2
+        add r6, r2, r5         ; pointer + int: pointer bounds
+        add r7, r5, r2         ; int + pointer: bounds from 2nd input
+        halt 0
+    """)
+    for reg in (6, 7):
+        assert cpu.regs.base[reg] == HEAP_BASE
+        assert cpu.regs.bound[reg] == HEAP_BASE + 4
+
+
+def test_fig3_sub_propagates():
+    cpu, _ = run_asm(PRELUDE + """
+        add r4, r2, 3
+        sub r5, r4, 2          ; back inside
+        load r6, [r5]
+        halt 0
+    """)
+    assert cpu.regs.base[5] == HEAP_BASE
+
+
+def test_fig3c_nonpointer_load_raises_in_full_mode():
+    with pytest.raises(NonPointerError):
+        run_asm("""
+        main:
+            mov r1, %d
+            load r2, [r1]      ; raw integer dereference
+            halt 0
+        """ % HEAP_BASE)
+
+
+def test_fig3d_nonpointer_store_raises_in_full_mode():
+    with pytest.raises(NonPointerError):
+        run_asm("""
+        main:
+            mov r1, 16
+            sbrk r1
+            mov r1, %d
+            store [r1], r1
+            halt 0
+        """ % HEAP_BASE)
+
+
+def test_fig3cd_store_then_load_roundtrips_metadata():
+    """Storing a bounded pointer and loading it back keeps bounds."""
+    cpu, _ = run_asm(PRELUDE + """
+        mov r3, 16
+        sbrk r3
+        mov r3, %d
+        setbound r3, r3, 8     ; a second object holding the pointer
+        store [r3], r2         ; spill bounded pointer
+        load r4, [r3]          ; reload it
+        load r5, [r4 + 1]      ; use reloaded bounds: passes
+        halt 0
+    """ % (HEAP_BASE + 16))
+    assert cpu.regs.base[4] == HEAP_BASE
+    assert cpu.regs.bound[4] == HEAP_BASE + 4
+
+
+def test_reloaded_pointer_still_checked():
+    with pytest.raises(BoundsError):
+        run_asm(PRELUDE + """
+        mov r3, 16
+        sbrk r3
+        mov r3, %d
+        setbound r3, r3, 8
+        store [r3], r2
+        load r4, [r3]
+        load r5, [r4 + 4]      ; A+4 == bound: fails
+        halt 0
+        """ % (HEAP_BASE + 16))
+
+
+def test_lower_bound_violation_detected():
+    with pytest.raises(BoundsError):
+        run_asm(PRELUDE + """
+        load r3, [r2 - 1]
+        halt 0
+        """)
+
+
+def test_nonpropagating_ops_strip_bounds():
+    cpu, _ = run_asm(PRELUDE + """
+        mul r3, r2, 1          ; multiply does not propagate
+        xor r4, r2, 0
+        halt 0
+    """)
+    assert not cpu.regs.is_pointer(3)
+    assert not cpu.regs.is_pointer(4)
+
+
+def test_malloc_only_mode_allows_unbounded_access():
+    """Footnote 2: no bounds metadata -> no check performed."""
+    cfg = MachineConfig(mode=SafetyMode.MALLOC_ONLY, timing=False)
+    cpu, _ = run_asm("""
+    main:
+        mov r1, 16
+        sbrk r1
+        mov r1, %d
+        store [r1], r1         ; raw pointer: unchecked in this mode
+        load r2, [r1]
+        halt 0
+    """ % HEAP_BASE, cfg)
+    assert cpu.regs.value[2] == HEAP_BASE
+
+
+def test_malloc_only_mode_still_checks_bounded_pointers():
+    cfg = MachineConfig(mode=SafetyMode.MALLOC_ONLY, timing=False)
+    with pytest.raises(BoundsError):
+        run_asm(PRELUDE + """
+        load r3, [r2 + 5]
+        halt 0
+        """, cfg)

@@ -1,0 +1,112 @@
+"""Property tests for the Figure 3 propagation invariants.
+
+Random instruction sequences over a bounded pointer must preserve the
+invariants the paper's hardware maintains: propagating ops never
+change a pointer's bounds, non-propagating ops always clear them, and
+value arithmetic is exact.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble
+from repro.layout import MASK32
+from repro.machine import CPU, MachineConfig
+
+CFG = MachineConfig.hardbound(timing=False)
+
+BASE = 0x0100_0000
+
+#: (mnemonic, propagates?) — word-sized register ops on a pointer
+#: in the destination-also-source position
+_OPS = [
+    ("add", True), ("sub", True),
+    ("mul", False), ("and", False), ("or", False),
+    ("xor", False), ("shl", False), ("shr", False),
+]
+
+
+@given(steps=st.lists(
+    st.tuples(st.sampled_from(_OPS), st.integers(0, 7)),
+    min_size=1, max_size=12))
+def test_bounds_survive_exactly_the_propagating_ops(steps):
+    lines = ["main:",
+             "mov r1, %d" % BASE,
+             "setbound r2, r1, 64"]
+    value = BASE
+    bounded = True
+    for (mnem, propagates), operand in steps:
+        lines.append("%s r2, r2, %d" % (mnem, operand))
+        if mnem == "add":
+            value = (value + operand) & MASK32
+        elif mnem == "sub":
+            value = (value - operand) & MASK32
+        elif mnem == "mul":
+            value = (value * operand) & MASK32
+        elif mnem == "and":
+            value &= operand
+        elif mnem == "or":
+            value |= operand
+        elif mnem == "xor":
+            value ^= operand
+        elif mnem == "shl":
+            value = (value << (operand & 31)) & MASK32
+        elif mnem == "shr":
+            value >>= (operand & 31)
+        if not propagates:
+            bounded = False
+    lines.append("halt 0")
+    cpu = CPU(assemble("\n".join(lines)), CFG)
+    cpu.run()
+    assert cpu.regs.value[2] == value
+    if bounded:
+        assert cpu.regs.base[2] == BASE
+        assert cpu.regs.bound[2] == BASE + 64
+    else:
+        assert not cpu.regs.is_pointer(2)
+
+
+@given(offsets=st.lists(st.integers(-64, 64), min_size=1,
+                        max_size=10))
+def test_walking_a_pointer_keeps_bounds_constant(offsets):
+    """Any add/sub walk leaves base/bound untouched (Figure 2)."""
+    lines = ["main:",
+             "mov r1, %d" % BASE,
+             "setbound r2, r1, 128"]
+    for off in offsets:
+        if off >= 0:
+            lines.append("add r2, r2, %d" % off)
+        else:
+            lines.append("sub r2, r2, %d" % -off)
+    lines.append("halt 0")
+    cpu = CPU(assemble("\n".join(lines)), CFG)
+    cpu.run()
+    assert cpu.regs.base[2] == BASE
+    assert cpu.regs.bound[2] == BASE + 128
+    assert cpu.regs.value[2] == (BASE + sum(offsets)) & MASK32
+
+
+@given(size=st.integers(1, 4096),
+       offset=st.integers(-4096, 8192))
+def test_check_oracle(size, offset):
+    """The hardware check agrees with the mathematical definition."""
+    program = assemble("""
+    main:
+        mov r1, %d
+        sbrk r1
+        mov r1, %d
+        setbound r2, r1, %d
+        loadb r3, [r2 + %d]
+        halt 0
+    """ % (16384, BASE, size, offset))
+    cpu = CPU(program, CFG)
+    from repro.machine import BoundsError, MemoryFault
+    in_bounds = 0 <= offset < size
+    if in_bounds:
+        cpu.run()
+    else:
+        try:
+            cpu.run()
+            raised = False
+        except (BoundsError, MemoryFault):
+            raised = True
+        assert raised

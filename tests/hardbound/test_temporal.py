@@ -1,0 +1,135 @@
+"""Section 6.2 temporal-safety extension: use-after-free tracking."""
+
+import pytest
+
+from repro.hardbound.temporal import TemporalTracker
+from repro.machine import (
+    DoubleFreeError,
+    MachineConfig,
+    UseAfterFreeError,
+)
+from repro.minic import compile_and_run
+
+CFG = MachineConfig.hardbound(timing=False, temporal=True)
+
+
+class TestTracker:
+    def test_freed_access_traps(self):
+        tracker = TemporalTracker()
+        tracker.mark_freed(0x1000, 0x1010)
+        with pytest.raises(UseAfterFreeError):
+            tracker.check(0x1004, 4)
+
+    def test_allocated_access_passes(self):
+        tracker = TemporalTracker()
+        tracker.mark_freed(0x1000, 0x1010)
+        tracker.mark_allocated(0x1000, 0x1010)
+        tracker.check(0x1004, 4)
+        assert tracker.reuses == 4
+
+    def test_straddling_access_caught(self):
+        tracker = TemporalTracker()
+        tracker.mark_freed(0x1004, 0x1008)
+        with pytest.raises(UseAfterFreeError):
+            tracker.check(0x1002, 4)   # touches the freed word
+
+    def test_double_free(self):
+        tracker = TemporalTracker()
+        tracker.mark_freed(0x1000, 0x1010)
+        with pytest.raises(DoubleFreeError):
+            tracker.mark_freed(0x1000, 0x1010)
+
+    def test_partial_refree_is_not_double_free(self):
+        tracker = TemporalTracker()
+        tracker.mark_freed(0x1000, 0x1008)
+        tracker.mark_freed(0x1000, 0x1010)  # extends: legal
+        assert tracker.freed_words() == 4
+
+
+class TestEndToEnd:
+    def test_use_after_free_read(self):
+        with pytest.raises(UseAfterFreeError):
+            compile_and_run("""
+            int main() {
+                int *p = (int*)malloc(4 * sizeof(int));
+                p[1] = 7;
+                free((void*)p);
+                return p[1];             // dangling read
+            }""", CFG)
+
+    def test_use_after_free_write(self):
+        with pytest.raises(UseAfterFreeError):
+            compile_and_run("""
+            int main() {
+                int *p = (int*)malloc(16);
+                free((void*)p);
+                p[2] = 1;                // dangling write
+                return 0;
+            }""", CFG)
+
+    def test_double_free_end_to_end(self):
+        with pytest.raises(DoubleFreeError):
+            compile_and_run("""
+            int main() {
+                void *p = malloc(32);
+                free(p);
+                free(p);
+                return 0;
+            }""", CFG)
+
+    def test_reuse_after_realloc_is_legal(self):
+        result = compile_and_run("""
+        int main() {
+            int *a = (int*)malloc(16);
+            free((void*)a);
+            int *b = (int*)malloc(16);   // reuses the chunk
+            b[1] = 5;
+            b[3] = 6;
+            return b[1] + b[3] + (a == b);
+        }""", CFG)
+        assert result.exit_code == 12
+
+    def test_allocator_itself_never_trips(self):
+        """malloc/free walk their own free list without tripping the
+        tracker (the link word stays live)."""
+        result = compile_and_run("""
+        int main() {
+            int i;
+            void *chunks[8];
+            for (i = 0; i < 8; i++) { chunks[i] = malloc(24); }
+            for (i = 0; i < 8; i++) { free(chunks[i]); }
+            for (i = 0; i < 8; i++) { chunks[i] = malloc(24); }
+            return 0;
+        }""", CFG)
+        assert result.exit_code == 0
+
+    def test_disabled_by_default(self):
+        """Without the extension, the dangling read is silent (the
+        paper's baseline HardBound is spatial-only)."""
+        result = compile_and_run("""
+        int main() {
+            int *p = (int*)malloc(16);
+            p[1] = 7;
+            free((void*)p);
+            return p[1];
+        }""", MachineConfig.hardbound(timing=False))
+        assert result.exit_code in (0, 7)   # silent (value undefined)
+
+    def test_forward_compatibility_markfree_is_noop_when_off(self):
+        """Binaries with markfree run unchanged on spatial-only and
+        plain cores (Section 4.5's forward-compatibility story)."""
+        src = """
+        int main() {
+            int *p = (int*)malloc(16);
+            free((void*)p);
+            return 0;
+        }"""
+        for cfg in (MachineConfig.hardbound(timing=False),
+                    MachineConfig.plain(timing=False)):
+            assert compile_and_run(src, cfg).exit_code == 0
+
+    def test_workload_clean_under_temporal(self):
+        """health allocates and frees nothing stale: no false alarms."""
+        from repro.workloads import WORKLOADS
+        result = compile_and_run(WORKLOADS["treeadd"].source, CFG)
+        assert result.exit_code == 0

@@ -1,0 +1,24 @@
+"""The report CLI module (corpus path only; figures are benchmarked)."""
+
+import io
+import sys
+
+from repro.harness import report
+
+
+def test_report_corpus_prints_clean_summary(capsys):
+    report.report_corpus()
+    out = capsys.readouterr().out
+    assert "288 pairs" in out
+    assert "0 false positives" in out
+    assert "MISSED" not in out
+
+
+def test_main_rejects_unknown_topic(capsys):
+    assert report.main(["report", "nonsense"]) == 2
+    assert "Usage" in capsys.readouterr().out
+
+
+def test_main_corpus_topic(capsys):
+    assert report.main(["report", "corpus"]) == 0
+    assert "288" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Assembler: syntax, operands, directives, linking, errors."""
+
+import pytest
+
+from repro.isa import Op, assemble, AssemblerError
+from repro.layout import GLOBAL_BASE
+
+
+def test_simple_program_assembles():
+    prog = assemble("""
+        .text
+    main:
+        mov r1, 5
+        add r2, r1, 3
+        halt 0
+    """)
+    assert len(prog.instrs) == 3
+    assert prog.entry == prog.labels["main"] == 0
+    assert prog.instrs[0].op is Op.MOV
+    assert prog.instrs[0].imm == 5
+    assert prog.instrs[1].op is Op.ADD
+    assert prog.instrs[1].imm == 3
+
+
+def test_register_aliases():
+    prog = assemble("mov sp, fp\nmov ra, r0\n")
+    assert prog.instrs[0].rd == 13
+    assert prog.instrs[0].rs == 14
+    assert prog.instrs[1].rd == 15
+
+
+def test_alu_register_and_immediate_forms():
+    prog = assemble("add r1, r2, r3\nadd r1, r2, -7\n")
+    assert prog.instrs[0].rt == 3 and prog.instrs[0].imm is None
+    assert prog.instrs[1].rt is None and prog.instrs[1].imm == -7
+
+
+def test_hex_and_char_immediates():
+    prog = assemble("mov r1, 0x10\nmov r2, 'A'\nmov r3, '\\n'\n")
+    assert prog.instrs[0].imm == 16
+    assert prog.instrs[1].imm == ord("A")
+    assert prog.instrs[2].imm == ord("\n")
+
+
+def test_memory_operand_full_form():
+    prog = assemble("load r1, [r2 + r3*4 + 8]\n")
+    instr = prog.instrs[0]
+    assert (instr.rs, instr.rt, instr.scale, instr.disp) == (2, 3, 4, 8)
+    assert instr.size == 4
+
+
+def test_memory_operand_negative_disp():
+    prog = assemble("store [fp - 12], r1\n")
+    instr = prog.instrs[0]
+    assert instr.rs == 14 and instr.disp == -12
+    assert instr.rd == 1
+
+
+def test_memory_operand_absolute():
+    prog = assemble("load r1, [0x2000]\n")
+    instr = prog.instrs[0]
+    assert instr.rs is None and instr.rt is None and instr.disp == 0x2000
+
+
+def test_load_store_sizes():
+    prog = assemble("""
+        loadb r1, [r2]
+        loadh r1, [r2]
+        load  r1, [r2]
+        storeb [r2], r1
+        storeh [r2], r1
+        store  [r2], r1
+    """)
+    sizes = [i.size for i in prog.instrs]
+    assert sizes == [1, 2, 4, 1, 2, 4]
+
+
+def test_branch_linking():
+    prog = assemble("""
+    top:
+        bnez r1, done
+        jmp top
+    done:
+        halt 0
+    """)
+    assert prog.instrs[0].target == 2
+    assert prog.instrs[1].target == 0
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("jmp nowhere\n")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a:\n  mov r1, 0\na:\n  halt 0\n")
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate r1\n")
+
+
+def test_bad_register_raises():
+    with pytest.raises(AssemblerError, match="expected register"):
+        assemble("add r1, 5, r2\n")
+
+
+def test_data_word_directive():
+    prog = assemble("""
+        .data
+    tbl: .word 1, 2, -3
+    """)
+    assert prog.data_symbols["tbl"].offset == 0
+    assert prog.data_image[0:4] == (1).to_bytes(4, "little")
+    assert prog.data_image[8:12] == (0x100000000 - 3).to_bytes(4, "little")
+
+
+def test_data_asciiz_and_space():
+    prog = assemble("""
+        .data
+    msg: .asciiz "hi\\n"
+    buf: .space 8
+    """)
+    assert prog.data_image[:4] == b"hi\n\0"
+    assert prog.data_symbols["buf"].offset == 4
+    assert prog.data_symbols["buf"].size == 8
+    assert len(prog.data_image) == 12
+
+
+def test_symbol_address_immediate():
+    prog = assemble("""
+        mov r1, =buf
+        halt 0
+        .data
+    pad: .space 12
+    buf: .word 0
+    """)
+    assert prog.instrs[0].imm == GLOBAL_BASE + 12
+
+
+def test_symbol_in_memory_operand():
+    prog = assemble("""
+        load r1, [buf + 4]
+        halt 0
+        .data
+    buf: .space 8
+    """)
+    assert prog.instrs[0].disp == GLOBAL_BASE + 4
+
+
+def test_push_pop_expand():
+    prog = assemble("push r1\npop r2\n")
+    ops = [i.op for i in prog.instrs]
+    assert ops == [Op.SUB, Op.STORE, Op.LOAD, Op.ADD]
+
+
+def test_setbound_forms():
+    prog = assemble("setbound r1, r2, 16\nsetbound r1, r2, r3\n")
+    assert prog.instrs[0].imm == 16
+    assert prog.instrs[1].rt == 3
+
+
+def test_setcode_label_resolves():
+    prog = assemble("""
+    main:
+        setcode r1, helper
+        halt 0
+    helper:
+        ret
+    """)
+    assert prog.instrs[0].imm == 2
+
+
+def test_comments_are_stripped():
+    prog = assemble("mov r1, 1 ; trailing\n# full line\nhalt 0\n")
+    assert len(prog.instrs) == 2
+
+
+def test_align_directive():
+    prog = assemble("""
+        .data
+    a:  .byte 1
+        .align 4
+    b:  .word 2
+    """)
+    assert prog.data_symbols["b"].offset == 4
+
+
+def test_call_register_becomes_callr():
+    prog = assemble("call r5\n")
+    assert prog.instrs[0].op is Op.CALLR
+
+
+def test_listing_roundtrip_smoke():
+    prog = assemble("""
+    main:
+        mov r1, 3
+        setbound r2, r1, 4
+        load r3, [r2 + 2]
+        halt 0
+    """)
+    text = prog.listing()
+    assert "setbound r2, r1, 4" in text
+    assert "main:" in text

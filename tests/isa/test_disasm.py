@@ -1,0 +1,93 @@
+"""Disassembler round-trip: text -> Instruction -> text -> Instruction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Op, assemble, disassemble
+
+ROUNDTRIP_SOURCES = [
+    "mov r1, r2",
+    "mov r3, -17",
+    "add r1, r2, r3",
+    "sub r1, r2, 42",
+    "mul r4, r5, r6",
+    "div r4, r5, -3",
+    "neg r1, r2",
+    "not r1, r2",
+    "xchg r1, r2",
+    "sltu r1, r2, r3",
+    "lea r1, [r2 + r3*4 + 8]",
+    "load r1, [r2 + 4]",
+    "loadb r1, [r2]",
+    "loadh r1, [r2 - 2]",
+    "store [r2 + r3*2], r1",
+    "storeb [r2], r1",
+    "setbound r1, r2, 16",
+    "setbound r1, r2, r3",
+    "readbase r1, r2",
+    "readbound r1, r2",
+    "setunsafe r1, r2",
+    "clrbnd r1, r2",
+    "setcode r1, r2",
+    "markfree r1, 16",
+    "markfree r1, r2",
+    "sbrk r1",
+    "print r2",
+    "printc r2",
+    "prints r2",
+    "halt 3",
+    "halt r0",
+    "abort 7",
+    "ret",
+    "callr r5",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_roundtrip(source):
+    instr = assemble(source).instrs[0]
+    text = disassemble(instr)
+    again = assemble(text).instrs[0]
+    assert instr == again, "%r -> %r -> %r" % (source, text, again)
+
+
+def test_branch_disassembly_uses_labels():
+    prog = assemble("top:\n  bnez r1, top\n  jmp top\n  call top\n")
+    assert disassemble(prog.instrs[0]) == "bnez r1, top"
+    assert disassemble(prog.instrs[1]) == "jmp top"
+    assert disassemble(prog.instrs[2]) == "call top"
+
+
+_ALU_MNEMONICS = ["add", "sub", "mul", "div", "mod", "and", "or",
+                  "xor", "shl", "shr", "sra", "seq", "sne", "slt",
+                  "sle", "sgt", "sge", "sltu", "sgeu"]
+
+
+@given(mnem=st.sampled_from(_ALU_MNEMONICS),
+       rd=st.integers(0, 15), rs=st.integers(0, 15),
+       imm=st.integers(-2**31, 2**31 - 1))
+def test_alu_immediate_roundtrip(mnem, rd, rs, imm):
+    source = "%s r%d, r%d, %d" % (mnem, rd, rs, imm)
+    instr = assemble(source).instrs[0]
+    again = assemble(disassemble(instr)).instrs[0]
+    assert instr == again
+
+
+@given(rd=st.integers(0, 15),
+       rs=st.integers(0, 15), rt=st.integers(0, 15),
+       scale=st.sampled_from([1, 2, 4, 8]),
+       disp=st.integers(-4096, 4096),
+       size=st.sampled_from([1, 2, 4]))
+def test_load_roundtrip(rd, rs, rt, scale, disp, size):
+    suffix = {1: "b", 2: "h", 4: ""}[size]
+    source = "load%s r%d, [r%d + r%d*%d + %d]" % (
+        suffix, rd, rs, rt, scale, disp)
+    instr = assemble(source).instrs[0]
+    again = assemble(disassemble(instr)).instrs[0]
+    assert instr == again
+    assert instr.size == size
+
+
+def test_instruction_repr_is_disassembly():
+    instr = Instruction(Op.ADD, rd=1, rs=2, rt=3)
+    assert "add r1, r2, r3" in repr(instr)

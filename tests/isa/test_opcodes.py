@@ -1,0 +1,77 @@
+"""Opcode table and register naming."""
+
+import pytest
+
+from repro.isa import Op, REG_ALIASES, REG_NAMES
+from repro.isa.opcodes import (
+    MEMORY_OPS,
+    PROPAGATING_OPS,
+    reg_index,
+    reg_name,
+)
+from repro.layout import (
+    GLOBAL_BASE,
+    MASK32,
+    shadow_base_addr,
+    shadow_bound_addr,
+    SHADOW_SPACE_BASE,
+    tag1_addr,
+    TAG1_BASE,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_register_names_and_aliases():
+    assert len(REG_NAMES) == 16
+    assert REG_ALIASES == {"sp": 13, "fp": 14, "ra": 15}
+    assert reg_index("r7") == 7
+    assert reg_index("SP") == 13
+    assert reg_name(13) == "sp"
+    assert reg_name(7) == "r7"
+
+
+def test_unknown_register_raises():
+    for bad in ("r16", "x1", "r-1", "reg"):
+        with pytest.raises(KeyError):
+            reg_index(bad)
+
+
+def test_propagating_set_matches_paper():
+    """'add, sub, lea, mov, and xchg' propagate (Section 3.1);
+    multiply/divide/shift/logical do not."""
+    assert PROPAGATING_OPS == {Op.MOV, Op.LEA, Op.ADD, Op.SUB,
+                               Op.XCHG}
+    assert Op.MUL not in PROPAGATING_OPS
+    assert Op.XOR not in PROPAGATING_OPS
+
+
+def test_memory_ops():
+    assert MEMORY_OPS == {Op.LOAD, Op.STORE}
+
+
+def test_opcode_values_unique():
+    values = [op.value for op in Op]
+    assert len(values) == len(set(values))
+
+
+class TestLayoutHelpers:
+    def test_shadow_interleaving(self):
+        """base(a) = S + 2a; bound(a) = base(a) + 4 (Section 4.1)."""
+        addr = GLOBAL_BASE + 8
+        assert shadow_base_addr(addr) == SHADOW_SPACE_BASE + addr * 2
+        assert shadow_bound_addr(addr) == shadow_base_addr(addr) + 4
+        # byte addresses within a word share the shadow slot
+        assert shadow_base_addr(addr + 3) == shadow_base_addr(addr)
+
+    def test_tag1_density(self):
+        """One tag bit per word: one tag byte covers 32 data bytes."""
+        assert tag1_addr(0) == TAG1_BASE
+        assert tag1_addr(31) == TAG1_BASE
+        assert tag1_addr(32) == TAG1_BASE + 1
+
+    def test_signedness_helpers(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_unsigned(-1) == MASK32
+        assert to_unsigned(2**40 + 5) == 5

@@ -1,0 +1,63 @@
+"""Program object: labels, symbols, listings."""
+
+from repro.isa import assemble
+from repro.layout import GLOBAL_BASE
+
+SOURCE = """
+main:
+    mov r1, =greeting
+    call show
+    halt 0
+show:
+    prints r1
+    ret
+    .data
+greeting: .asciiz "hey"
+counter:  .word 5
+buf:      .space 32
+"""
+
+
+def test_labels_and_entry():
+    prog = assemble(SOURCE)
+    assert prog.entry == prog.labels["main"] == 0
+    assert prog.labels["show"] == 3
+    assert prog.label_at(3) == "show"
+    assert prog.label_at(1) is None
+
+
+def test_data_symbols():
+    prog = assemble(SOURCE)
+    assert prog.data_symbols["greeting"].offset == 0
+    assert prog.data_symbols["greeting"].size == 4  # "hey\0"
+    assert prog.data_symbols["counter"].offset == 4
+    assert prog.data_symbols["buf"].size == 32
+    assert prog.symbol_address("counter", GLOBAL_BASE) == \
+        GLOBAL_BASE + 4
+
+
+def test_data_image_contents():
+    prog = assemble(SOURCE)
+    assert prog.data_image[:4] == b"hey\0"
+    assert prog.data_image[4:8] == (5).to_bytes(4, "little")
+    assert len(prog.data_image) == 4 + 4 + 32
+
+
+def test_listing_includes_labels_and_pcs():
+    prog = assemble(SOURCE)
+    listing = prog.listing()
+    assert "main:" in listing and "show:" in listing
+    assert "   0: mov r1," in listing
+    assert "prints r1" in listing
+
+
+def test_stats():
+    prog = assemble(SOURCE)
+    code_len, data_len = prog.stats()
+    assert code_len == len(prog.instrs) == 5
+    assert data_len == 40
+
+
+def test_entry_defaults_to_zero_without_main():
+    prog = assemble("start:\n  halt 0\n")
+    assert prog.entry == 0

@@ -1,0 +1,77 @@
+"""Program validator, including a sweep over all compiled artifacts."""
+
+import pytest
+
+from repro.isa import Instruction, Op, assemble
+from repro.isa.validate import (
+    ValidationError,
+    validate_instruction,
+    validate_program,
+)
+from repro.minic import InstrumentMode, compile_program
+from repro.workloads import WORKLOADS
+
+
+def test_valid_program_passes():
+    prog = assemble("""
+    main:
+        mov r1, 5
+        setbound r2, r1, 4
+        load r3, [r2]
+        beqz r3, done
+    done:
+        halt 0
+    """)
+    assert validate_program(prog) == []
+
+
+def test_bad_register_index():
+    instr = Instruction(Op.ADD, rd=99, rs=1, imm=0)
+    with pytest.raises(ValidationError, match="bad rd"):
+        validate_instruction(0, instr, 10)
+
+
+def test_missing_operand():
+    with pytest.raises(ValidationError, match="needs rt or imm"):
+        validate_instruction(0, Instruction(Op.ADD, rd=1, rs=2), 10)
+    with pytest.raises(ValidationError, match="mov needs"):
+        validate_instruction(0, Instruction(Op.MOV, rd=1), 10)
+
+
+def test_unresolved_branch():
+    with pytest.raises(ValidationError, match="unresolved"):
+        validate_instruction(0, Instruction(Op.JMP), 10)
+
+
+def test_branch_out_of_range():
+    with pytest.raises(ValidationError, match="out of range"):
+        validate_instruction(0, Instruction(Op.JMP, target=50), 10)
+
+
+def test_bad_size_and_scale():
+    with pytest.raises(ValidationError, match="bad access size"):
+        validate_instruction(
+            0, Instruction(Op.LOAD, rd=1, rs=2, size=3), 10)
+    with pytest.raises(ValidationError, match="bad scale"):
+        validate_instruction(
+            0, Instruction(Op.LOAD, rd=1, rs=2, rt=3, scale=5), 10)
+
+
+def test_fall_off_warning():
+    prog = assemble("main:\n  mov r1, 1\n")
+    warnings = validate_program(prog)
+    assert any("fall off" in w for w in warnings)
+
+
+def test_empty_program_rejected():
+    from repro.isa.program import Program
+    with pytest.raises(ValidationError, match="empty"):
+        validate_program(Program([], {}))
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+@pytest.mark.parametrize("mode", list(InstrumentMode))
+def test_all_workload_binaries_validate(name, mode):
+    """Every compiler output for every mode is structurally sound."""
+    program = compile_program(WORKLOADS[name].source, mode)
+    assert validate_program(program) == []

@@ -1,0 +1,262 @@
+"""Per-instruction semantics of the core, checked against Python models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble
+from repro.layout import MASK32, MAXINT, to_signed
+from repro.machine import (
+    CPU,
+    AbortError,
+    DivideByZeroError,
+    InstructionLimitExceeded,
+    InvalidCodePointerError,
+    MachineConfig,
+    MemoryFault,
+)
+
+CFG = MachineConfig.plain(timing=False)
+
+i32 = st.integers(-2**31, 2**31 - 1)
+
+
+def run_alu(mnem, a, b):
+    """Execute one ALU op with operands in r1, r2; result in r3."""
+    cpu = CPU(assemble("""
+    main:
+        mov r1, %d
+        mov r2, %d
+        %s r3, r1, r2
+        halt 0
+    """ % (a, b, mnem)), CFG)
+    cpu.run()
+    return cpu.regs.value[3]
+
+
+class TestArithmetic:
+    @given(a=i32, b=i32)
+    def test_add_wraps(self, a, b):
+        assert run_alu("add", a, b) == (a + b) & MASK32
+
+    @given(a=i32, b=i32)
+    def test_sub_wraps(self, a, b):
+        assert run_alu("sub", a, b) == (a - b) & MASK32
+
+    @given(a=i32, b=i32)
+    def test_mul_wraps(self, a, b):
+        assert run_alu("mul", a, b) == (a * b) & MASK32
+
+    @given(a=i32, b=i32.filter(lambda v: v != 0))
+    def test_div_truncates_toward_zero(self, a, b):
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert to_signed(run_alu("div", a, b)) == to_signed(
+            expected & MASK32)
+
+    @given(a=i32, b=i32.filter(lambda v: v != 0))
+    def test_mod_sign_follows_dividend(self, a, b):
+        result = to_signed(run_alu("mod", a, b))
+        expected = abs(a) % abs(b)
+        if a < 0:
+            expected = -expected
+        assert result == expected
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(DivideByZeroError):
+            run_alu("div", 5, 0)
+
+    def test_mod_by_zero_traps(self):
+        with pytest.raises(DivideByZeroError):
+            run_alu("mod", 5, 0)
+
+    @given(a=i32, b=i32)
+    def test_bitwise(self, a, b):
+        assert run_alu("and", a, b) == (a & b) & MASK32
+        assert run_alu("or", a, b) == (a | b) & MASK32
+        assert run_alu("xor", a, b) == (a ^ b) & MASK32
+
+    @given(a=i32, sh=st.integers(0, 31))
+    def test_shifts(self, a, sh):
+        ua = a & MASK32
+        assert run_alu("shl", a, sh) == (ua << sh) & MASK32
+        assert run_alu("shr", a, sh) == ua >> sh
+        assert run_alu("sra", a, sh) == (to_signed(ua) >> sh) & MASK32
+
+    @given(a=i32, sh=st.integers(32, 200))
+    def test_shift_amount_masked_to_5_bits(self, a, sh):
+        assert run_alu("shl", a, sh) == \
+            ((a & MASK32) << (sh & 31)) & MASK32
+
+
+class TestComparisons:
+    @given(a=i32, b=i32)
+    def test_signed_comparisons(self, a, b):
+        assert run_alu("slt", a, b) == int(a < b)
+        assert run_alu("sle", a, b) == int(a <= b)
+        assert run_alu("sgt", a, b) == int(a > b)
+        assert run_alu("sge", a, b) == int(a >= b)
+        assert run_alu("seq", a, b) == int(a == b)
+        assert run_alu("sne", a, b) == int(a != b)
+
+    @given(a=i32, b=i32)
+    def test_unsigned_comparisons(self, a, b):
+        ua, ub = a & MASK32, b & MASK32
+        assert run_alu("sltu", a, b) == int(ua < ub)
+        assert run_alu("sgeu", a, b) == int(ua >= ub)
+
+
+class TestControlFlow:
+    def test_call_and_ret(self):
+        cpu = CPU(assemble("""
+        main:
+            call helper
+            halt r1
+        helper:
+            mov r1, 11
+            ret
+        """), CFG)
+        assert cpu.run().exit_code == 11
+
+    def test_indirect_call_through_setcode(self):
+        cpu = CPU(assemble("""
+        main:
+            setcode r5, helper
+            callr r5
+            halt r1
+        helper:
+            mov r1, 22
+            ret
+        """), CFG)
+        assert cpu.run().exit_code == 22
+
+    def test_indirect_call_without_code_meta_traps_in_full_mode(self):
+        cpu = CPU(assemble("""
+        main:
+            mov r5, 2
+            callr r5
+            halt 0
+            ret
+        """), MachineConfig.hardbound(timing=False))
+        with pytest.raises(InvalidCodePointerError):
+            cpu.run()
+
+    def test_indirect_call_out_of_range_traps(self):
+        cpu = CPU(assemble("""
+        main:
+            setcode r5, main
+            add r5, r5, 1000
+            callr r5
+            halt 0
+        """), CFG)
+        with pytest.raises(InvalidCodePointerError):
+            cpu.run()
+
+    def test_fetch_past_end_faults(self):
+        cpu = CPU(assemble("main:\n  mov r1, 1\n"), CFG)  # no halt
+        with pytest.raises(MemoryFault):
+            cpu.run()
+
+    def test_instruction_limit(self):
+        cpu = CPU(assemble("main:\n  jmp main\n"),
+                  MachineConfig.plain(timing=False,
+                                      max_instructions=1000))
+        with pytest.raises(InstructionLimitExceeded):
+            cpu.run()
+
+    def test_abort_register_form(self):
+        cpu = CPU(assemble("main:\n  mov r1, 9\n  abort r1\n"), CFG)
+        with pytest.raises(AbortError) as exc:
+            cpu.run()
+        assert exc.value.code == 9
+
+
+class TestHardBoundPrimitives:
+    HB = MachineConfig.hardbound(timing=False)
+
+    def test_readbase_readbound(self):
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 0x2000000
+            setbound r2, r1, 64
+            readbase r3, r2
+            readbound r4, r2
+            halt 0
+        """), self.HB)
+        cpu.run()
+        assert cpu.regs.value[3] == 0x2000000
+        assert cpu.regs.value[4] == 0x2000000 + 64
+        assert not cpu.regs.is_pointer(3)
+
+    def test_setunsafe_passes_all_checks(self):
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 64
+            sbrk r1
+            mov r1, 0x1000000
+            setunsafe r2, r1
+            load r3, [r2 + 60]
+            halt 0
+        """), self.HB)
+        cpu.run()
+        assert cpu.regs.base[2] == 0
+        assert cpu.regs.bound[2] == MAXINT
+
+    def test_clrbnd_strips_metadata(self):
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 0x1000000
+            setbound r2, r1, 8
+            clrbnd r2, r2
+            halt 0
+        """), self.HB)
+        cpu.run()
+        assert not cpu.regs.is_pointer(2)
+
+    def test_lea_propagates_bounds(self):
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 0x1000000
+            setbound r2, r1, 32
+            mov r3, 2
+            lea r4, [r2 + r3*4 + 4]
+            halt 0
+        """), self.HB)
+        cpu.run()
+        assert cpu.regs.value[4] == 0x1000000 + 12
+        assert cpu.regs.base[4] == 0x1000000
+        assert cpu.regs.bound[4] == 0x1000000 + 32
+
+    def test_sub_word_store_clears_pointer_tag(self):
+        """Overwriting part of a stored pointer destroys it (word
+        tag cleared), so a later load yields a non-pointer."""
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 64
+            sbrk r1
+            mov r1, 0x1000000
+            setbound r2, r1, 64
+            store [r2], r2       ; store pointer
+            mov r3, 7
+            storeb [r2 + 1], r3  ; clobber one byte of it
+            load r4, [r2]
+            halt 0
+        """), self.HB)
+        cpu.run()
+        assert not cpu.regs.is_pointer(4)
+
+    def test_mem_check_prefers_bounded_index_register(self):
+        """[int_base + ptr_index] is guarded by the pointer's bounds."""
+        cpu = CPU(assemble("""
+        main:
+            mov r1, 64
+            sbrk r1
+            mov r1, 0x1000000
+            setbound r2, r1, 8
+            mov r3, 0            ; plain integer base
+            load r4, [r3 + r2*1 + 8]
+            halt 0
+        """), self.HB)
+        from repro.machine import BoundsError
+        with pytest.raises(BoundsError):
+            cpu.run()

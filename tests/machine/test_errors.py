@@ -1,0 +1,57 @@
+"""Trap classes: messages, pc attachment, kinds."""
+
+import pytest
+
+from repro.machine import (
+    AbortError,
+    BoundsError,
+    DoubleFreeError,
+    MemoryFault,
+    NonPointerError,
+    SimError,
+    Trap,
+    UseAfterFreeError,
+)
+from repro.machine.errors import DivideByZeroError, HaltSignal
+
+
+def test_hierarchy():
+    for cls in (BoundsError, NonPointerError, MemoryFault,
+                UseAfterFreeError, DoubleFreeError, AbortError,
+                DivideByZeroError):
+        assert issubclass(cls, Trap)
+        assert issubclass(cls, SimError)
+    assert not issubclass(HaltSignal, SimError)
+
+
+def test_bounds_error_fields_and_message():
+    err = BoundsError(0x1005, 0x1000, 0x1004, "read")
+    assert err.addr == 0x1005
+    assert err.base == 0x1000
+    assert err.bound == 0x1004
+    assert "read" in str(err)
+    assert "0x00001005" in str(err)
+    assert err.kind == "bounds"
+
+
+def test_at_is_idempotent():
+    err = BoundsError(5, 0, 4, "write")
+    err.at(17)
+    message = str(err)
+    err.at(99)
+    assert str(err) == message
+    assert err.pc == 17
+    assert "pc=17" in str(err)
+
+
+def test_kinds_are_distinct():
+    kinds = {cls.kind for cls in (BoundsError, NonPointerError,
+                                  MemoryFault, UseAfterFreeError,
+                                  DoubleFreeError, AbortError)}
+    assert len(kinds) == 6
+
+
+def test_abort_carries_code():
+    with pytest.raises(AbortError) as exc:
+        raise AbortError(42)
+    assert exc.value.code == 42

@@ -1,0 +1,124 @@
+"""Sparse paged memory: mapping discipline, raw access, segments."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    PAGE_SIZE,
+    STACK_TOP,
+)
+from repro.machine import Memory, MemoryFault
+
+STACK_SIZE = 0x10000
+
+
+def make(image=b""):
+    mem = Memory(STACK_SIZE)
+    mem.load_image(image)
+    return mem
+
+
+class TestMappingDiscipline:
+    def test_null_guard(self):
+        mem = make()
+        with pytest.raises(MemoryFault):
+            mem.read(0, 4)
+        with pytest.raises(MemoryFault):
+            mem.write(0xFFF, 1, 7)
+
+    def test_globals_extent(self):
+        mem = make(b"\x01\x02\x03\x04")
+        assert mem.read(GLOBAL_BASE, 4) == 0x04030201
+        with pytest.raises(MemoryFault):
+            mem.read(GLOBAL_BASE + 4, 1)
+
+    def test_heap_grows_with_sbrk(self):
+        mem = make()
+        with pytest.raises(MemoryFault):
+            mem.write(HEAP_BASE, 4, 1)
+        old = mem.sbrk(64)
+        assert old == HEAP_BASE
+        mem.write(HEAP_BASE, 4, 1)
+        mem.write(HEAP_BASE + 60, 4, 2)
+        with pytest.raises(MemoryFault):
+            mem.write(HEAP_BASE + 64, 4, 3)
+
+    def test_stack_reservation(self):
+        mem = make()
+        mem.write(STACK_TOP - 4, 4, 1)
+        mem.write(STACK_TOP - STACK_SIZE, 4, 2)
+        with pytest.raises(MemoryFault):
+            mem.write(STACK_TOP - STACK_SIZE - 4, 4, 3)
+
+    def test_access_straddling_segment_end_faults(self):
+        mem = make(b"\x00" * 6)
+        with pytest.raises(MemoryFault):
+            mem.read(GLOBAL_BASE + 4, 4)   # last 2 bytes unmapped
+
+    def test_segments_reporting(self):
+        mem = make(b"xy")
+        segs = mem.segments()
+        assert segs[0] == (GLOBAL_BASE, GLOBAL_BASE + 2)
+        assert segs[1] == (HEAP_BASE, HEAP_BASE)
+        assert segs[2] == (STACK_TOP - STACK_SIZE, STACK_TOP)
+
+
+class TestRawAccess:
+    def test_little_endian(self):
+        mem = make()
+        mem.raw_write(0x5000, 4, 0x11223344)
+        assert mem.raw_read(0x5000, 1) == 0x44
+        assert mem.raw_read(0x5001, 1) == 0x33
+        assert mem.raw_read(0x5002, 2) == 0x1122
+
+    def test_cross_page_access(self):
+        mem = make()
+        addr = 0x6000 - 2   # straddles a page boundary
+        mem.raw_write(addr, 4, 0xAABBCCDD)
+        assert mem.raw_read(addr, 4) == 0xAABBCCDD
+
+    def test_unmapped_reads_zero(self):
+        mem = make()
+        assert mem.raw_read(0x123456, 4) == 0
+
+    def test_bulk_bytes(self):
+        mem = make()
+        blob = bytes(range(200))
+        mem.raw_write_bytes(0x7F00, blob)   # crosses a page
+        assert mem.raw_read_bytes(0x7F00, 200) == blob
+
+    def test_write_masks_to_size(self):
+        mem = make()
+        mem.raw_write(0x5000, 1, 0x1FF)
+        assert mem.raw_read(0x5000, 1) == 0xFF
+        assert mem.raw_read(0x5001, 1) == 0
+
+    def test_read_cstring(self):
+        mem = make()
+        mem.raw_write_bytes(0x5000, b"hello\0world")
+        assert mem.read_cstring(0x5000) == "hello"
+
+
+@given(addr=st.integers(0x5000, 0x9000),
+       size=st.sampled_from([1, 2, 4]),
+       value=st.integers(0, 0xFFFFFFFF))
+def test_raw_roundtrip(addr, size, value):
+    mem = make()
+    mem.raw_write(addr, size, value)
+    assert mem.raw_read(addr, size) == value & ((1 << (8 * size)) - 1)
+
+
+@given(writes=st.lists(
+    st.tuples(st.integers(0, PAGE_SIZE * 3 - 1), st.integers(0, 255)),
+    max_size=100))
+def test_byte_writes_match_dict_model(writes):
+    mem = make()
+    model = {}
+    base = 0x8000
+    for offset, value in writes:
+        mem.raw_write(base + offset, 1, value)
+        model[offset] = value
+    for offset, value in model.items():
+        assert mem.raw_read(base + offset, 1) == value

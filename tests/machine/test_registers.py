@@ -1,0 +1,43 @@
+"""Register file with base/bound sidecars."""
+
+from repro.machine import RegisterFile
+
+
+def test_set_get_triple():
+    regs = RegisterFile()
+    regs.set(3, 0x100, 0x100, 0x140)
+    assert regs.get(3) == (0x100, 0x100, 0x140)
+    assert regs.is_pointer(3)
+
+
+def test_values_wrap_to_32_bits():
+    regs = RegisterFile()
+    regs.set(1, -1, 2**32 + 5, 2**33)
+    assert regs.get(1) == (0xFFFFFFFF, 5, 0)
+
+
+def test_nonpointer_definition():
+    """base == bound == 0 is the (only) non-pointer encoding."""
+    regs = RegisterFile()
+    assert not regs.is_pointer(0)
+    regs.set(0, 5, 0, 1)      # bound-only still counts as pointer
+    assert regs.is_pointer(0)
+    regs.set(0, 5, 1, 0)
+    assert regs.is_pointer(0)
+
+
+def test_copy_and_clear_meta():
+    regs = RegisterFile()
+    regs.set(1, 10, 100, 200)
+    regs.set(2, 20)
+    regs.copy_meta(2, 1)
+    assert regs.get(2) == (20, 100, 200)
+    regs.clear_meta(2)
+    assert regs.get(2) == (20, 0, 0)
+
+
+def test_dump_contains_all_registers():
+    regs = RegisterFile()
+    text = regs.dump()
+    assert "sp" in text and "fp" in text and "ra" in text
+    assert text.count("\n") == 15

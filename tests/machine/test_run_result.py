@@ -1,0 +1,57 @@
+"""RunResult reporting and xchg semantics."""
+
+from repro.isa import assemble
+from repro.layout import HEAP_BASE
+from repro.machine import CPU, MachineConfig
+
+
+def test_xchg_swaps_values_and_metadata():
+    cpu = CPU(assemble("""
+    main:
+        mov r1, %d
+        setbound r2, r1, 8
+        mov r3, 42
+        xchg r2, r3
+        halt 0
+    """ % HEAP_BASE), MachineConfig.hardbound(timing=False))
+    cpu.run()
+    assert cpu.regs.value[2] == 42
+    assert not cpu.regs.is_pointer(2)
+    assert cpu.regs.value[3] == HEAP_BASE
+    assert cpu.regs.base[3] == HEAP_BASE
+    assert cpu.regs.bound[3] == HEAP_BASE + 8
+
+
+def test_summary_plain_core():
+    cpu = CPU(assemble("main:\n  mov r1, 1\n  halt 0\n"),
+              MachineConfig.plain(timing=False))
+    result = cpu.run()
+    text = result.summary()
+    assert "instructions:  2" in text
+    assert "bounds checks" not in text
+
+
+def test_summary_hardbound_with_timing():
+    cpu = CPU(assemble("""
+    main:
+        mov r1, 64
+        sbrk r1
+        mov r1, %d
+        setbound r2, r1, 64
+        store [r2], r2
+        load r3, [r2]
+        halt 0
+    """ % HEAP_BASE), MachineConfig.hardbound())
+    result = cpu.run()
+    text = result.summary()
+    assert "bounds checks: 2" in text
+    assert "setbounds:     1" in text
+    assert "pages (data/tag/shadow):" in text
+    assert result.cycles == result.uops + result.stall_cycles
+
+
+def test_repr():
+    cpu = CPU(assemble("main:\n  halt 5\n"),
+              MachineConfig.plain(timing=False))
+    result = cpu.run()
+    assert "exit=5" in repr(result)

@@ -1,0 +1,95 @@
+"""Execution tracer."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.layout import HEAP_BASE
+from repro.machine import BoundsError, CPU, MachineConfig
+from repro.machine.trace import Tracer
+
+CFG = MachineConfig.hardbound(timing=False)
+
+
+def traced_cpu(source, limit=100):
+    cpu = CPU(assemble(source), CFG)
+    tracer = Tracer(cpu, limit=limit)
+    return cpu, tracer
+
+
+def test_records_every_instruction():
+    cpu, tracer = traced_cpu("""
+    main:
+        mov r1, 1
+        mov r2, 2
+        add r3, r1, r2
+        halt 0
+    """)
+    cpu.run()
+    assert tracer.total == 4
+    assert [e.text for e in tracer.entries] == [
+        "mov r1, 1", "mov r2, 2", "add r3, r1, r2", "halt 0"]
+
+
+def test_destination_metadata_rendered():
+    cpu, tracer = traced_cpu("""
+    main:
+        mov r1, %d
+        setbound r2, r1, 8
+        halt 0
+    """ % HEAP_BASE)
+    cpu.run()
+    entry = tracer.entries[1]
+    assert "r2 = {0x01000000; 0x01000000; 0x01000008}" == entry.dest
+
+
+def test_limit_keeps_tail():
+    cpu, tracer = traced_cpu("""
+    main:
+        mov r1, 50
+    loop:
+        sub r1, r1, 1
+        bnez r1, loop
+        halt 0
+    """, limit=10)
+    cpu.run()
+    assert len(tracer.entries) == 10
+    assert tracer.total == 1 + 50 * 2 + 1
+    assert tracer.entries[-1].text == "halt 0"
+
+
+def test_trace_survives_trap():
+    cpu, tracer = traced_cpu("""
+    main:
+        mov r1, 16
+        sbrk r1
+        mov r1, %d
+        setbound r2, r1, 4
+        load r3, [r2 + 8]
+        halt 0
+    """ % HEAP_BASE)
+    with pytest.raises(BoundsError):
+        cpu.run()
+    # the faulting instruction itself is the last trace entry
+    assert tracer.entries[-1].text == "load r3, [r2 + 8]"
+
+
+def test_format_alignment():
+    cpu, tracer = traced_cpu("main:\n  mov r1, 7\n  halt 0\n")
+    cpu.run()
+    text = tracer.format()
+    assert "mov r1, 7" in text
+    assert text.splitlines()[0].startswith("     0:")
+
+
+def test_pointer_writes_filter():
+    cpu, tracer = traced_cpu("""
+    main:
+        mov r1, %d
+        setbound r2, r1, 8
+        mov r3, 5
+        halt 0
+    """ % HEAP_BASE)
+    cpu.run()
+    writes = tracer.pointer_writes()
+    assert len(writes) == 1
+    assert writes[0].text.startswith("setbound")

@@ -1,0 +1,41 @@
+"""Tracer over compiled MiniC: the debugging workflow end to end."""
+
+import pytest
+
+from repro.machine import BoundsError, CPU, MachineConfig
+from repro.machine.trace import Tracer
+from repro.minic import compile_program
+
+
+def test_trace_pinpoints_the_violating_instruction():
+    program = compile_program("""
+    int main() {
+        int *p = (int*)malloc(8);
+        p[0] = 1;
+        p[1] = 2;
+        p[2] = 3;          // violation
+        return 0;
+    }""")
+    cpu = CPU(program, MachineConfig.hardbound(timing=False))
+    tracer = Tracer(cpu, limit=50)
+    with pytest.raises(BoundsError) as exc:
+        cpu.run()
+    last = tracer.entries[-1]
+    assert last.pc == exc.value.pc
+    assert last.text.startswith("store")
+    # the setbound that created the overflowed pointer is in the trace
+    assert any(e.text.startswith("setbound") for e in tracer.entries)
+
+
+def test_trace_shows_bounds_flowing_through_malloc():
+    program = compile_program("""
+    int main() {
+        char *p = (char*)malloc(6);
+        return (int)p[0];
+    }""")
+    cpu = CPU(program, MachineConfig.hardbound(timing=False))
+    tracer = Tracer(cpu, limit=2000)
+    cpu.run()
+    pointer_creations = [e for e in tracer.pointer_writes()
+                         if e.text.startswith("setbound")]
+    assert pointer_creations, "malloc's setbound should be traced"

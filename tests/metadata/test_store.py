@@ -1,0 +1,52 @@
+"""Functional metadata store."""
+
+from hypothesis import given, strategies as st
+
+from repro.metadata import MetadataStore
+
+
+def test_basic_roundtrip():
+    store = MetadataStore()
+    assert store.get(0x1000) == (0, 0)
+    store.set_pointer(0x1000, 0x1000, 0x1010)
+    assert store.get(0x1000) == (0x1000, 0x1010)
+    assert store.is_pointer(0x1000)
+    store.clear(0x1000)
+    assert store.get(0x1000) == (0, 0)
+    assert not store.is_pointer(0x1000)
+
+
+def test_word_granularity():
+    """Any byte address within a word maps to the same entry."""
+    store = MetadataStore()
+    store.set_pointer(0x1001, 5, 9)
+    for offset in range(4):
+        assert store.get(0x1000 + offset) == (5, 9)
+    store.clear(0x1003)
+    assert store.get(0x1000) == (0, 0)
+
+
+def test_lookup_distinguishes_missing():
+    store = MetadataStore()
+    assert store.lookup(0x2000) is None
+    store.set_pointer(0x2000, 1, 2)
+    assert store.lookup(0x2000) == (1, 2)
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 1 << 16),
+                              st.booleans()), max_size=200))
+def test_matches_dict_model(ops):
+    """The store behaves like a dict keyed by word address."""
+    store = MetadataStore()
+    model = {}
+    for addr, is_set in ops:
+        key = addr & ~3
+        if is_set:
+            store.set_pointer(addr, addr, addr + 4)
+            model[key] = (addr, addr + 4)
+        else:
+            store.clear(addr)
+            model.pop(key, None)
+    assert store.pointer_count() == len(model)
+    for key, meta in model.items():
+        assert store.get(key) == meta

@@ -1,0 +1,178 @@
+"""Codegen unit tests: instrumentation sites and mode differences.
+
+Checks the *generated assembly* for the Section 3.2 instrumentation
+contract: where ``setbound`` appears, what each mode strips, and the
+calling convention.
+"""
+
+import re
+
+from repro.minic import InstrumentMode, compile_to_asm
+
+
+def asm(source, mode=InstrumentMode.HARDBOUND):
+    return compile_to_asm(source, mode, include_stdlib=False)
+
+
+def count_setbounds(text):
+    return len(re.findall(r"\bsetbound\b", text))
+
+
+class TestInstrumentationSites:
+    def test_address_of_local_is_bounded(self):
+        text = asm("""
+        int main() {
+            int x;
+            int *p = &x;
+            return *p;
+        }""")
+        assert "setbound" in text
+        assert re.search(r"lea r\d+, \[fp - \d+\]\n"
+                         r"    setbound r\d+, r\d+, 4", text)
+
+    def test_array_decay_narrows_to_array_size(self):
+        text = asm("""
+        int main() {
+            int a[10];
+            int *p = a;
+            return 0;
+        }""")
+        assert re.search(r"setbound r\d+, r\d+, 40", text)
+
+    def test_member_array_decay_narrows_to_member(self):
+        text = asm("""
+        struct s { char pre[4]; char buf[6]; int post; };
+        int main() {
+            struct s v;
+            char *p = v.buf;
+            return 0;
+        }""")
+        assert re.search(r"setbound r\d+, r\d+, 6", text)
+
+    def test_string_literal_bounded_to_length_plus_nul(self):
+        text = asm("""
+        int main() {
+            char *s = "hello";
+            return 0;
+        }""")
+        assert re.search(r"setbound r\d+, r\d+, 6", text)
+
+    def test_global_scalar_access_is_direct(self):
+        """Named-scalar accesses use absolute operands, no setbound."""
+        text = asm("""
+        int g;
+        int main() { g = 5; return g; }
+        """)
+        assert "[gv_g]" in text
+        assert count_setbounds(text) == 0
+
+    def test_local_scalar_access_is_frame_relative(self):
+        text = asm("""
+        int main() { int x; x = 5; return x; }
+        """)
+        assert re.search(r"store \[fp - \d+\]", text)
+        assert count_setbounds(text) == 0
+
+    def test_conservative_index_addressof(self):
+        """&q[i] keeps whole-array bounds: only the decay setbound."""
+        text = asm("""
+        int main() {
+            int q[8];
+            int *p = &q[3];
+            return 0;
+        }""")
+        assert re.search(r"setbound r\d+, r\d+, 32", text)
+        assert not re.search(r"setbound r\d+, r\d+, 4\b", text)
+
+
+class TestModes:
+    SRC = """
+    int main() {
+        int a[4];
+        int *p = (int*)__setbound((void*)a, 16);
+        return p[1];
+    }"""
+
+    def test_none_strips_everything(self):
+        text = asm(self.SRC, InstrumentMode.NONE)
+        assert count_setbounds(text) == 0
+
+    def test_heap_only_keeps_intrinsics_only(self):
+        text = asm(self.SRC, InstrumentMode.HEAP_ONLY)
+        # exactly the explicit __setbound; no decay instrumentation
+        assert count_setbounds(text) == 1
+
+    def test_hardbound_adds_compiler_sites(self):
+        text = asm(self.SRC, InstrumentMode.HARDBOUND)
+        assert count_setbounds(text) >= 2
+
+    def test_setunsafe_and_clrbnd_follow_intrinsic_gating(self):
+        src = """
+        int main() {
+            int x;
+            int *p = (int*)__setunsafe((void*)&x);
+            int *q = (int*)__clrbnd((void*)&x);
+            return 0;
+        }"""
+        assert "setunsafe" in asm(src, InstrumentMode.HEAP_ONLY)
+        assert "setunsafe" not in asm(src, InstrumentMode.NONE)
+        assert "clrbnd" not in asm(src, InstrumentMode.NONE)
+
+
+class TestCallingConvention:
+    def test_prologue_epilogue(self):
+        text = asm("int f(int x) { return x; } "
+                   "int main() { return f(1); }")
+        assert "fn_f:" in text
+        body = text.split("fn_f:")[1].split("fn_main:")[0]
+        assert "push ra" in body and "push fp" in body
+        assert "mov fp, sp" in body
+        assert body.index("pop fp") < body.index("pop ra")
+        assert "ret" in body
+
+    def test_args_pushed_and_popped(self):
+        text = asm("""
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { return add3(1, 2, 3); }
+        """)
+        main_body = text.split("fn_main:")[1]
+        assert main_body.count("push") >= 3
+        assert "add sp, sp, 12" in main_body
+
+    def test_entry_calls_main_and_halts_with_r0(self):
+        text = asm("int main() { return 3; }")
+        head = text.split("fn_main:")[0]
+        assert "call fn_main" in head
+        assert "halt r0" in head
+
+    def test_void_function_call_discards_result(self):
+        text = asm("""
+        void noop() { }
+        int main() { noop(); return 0; }
+        """)
+        assert "call fn_noop" in text
+
+
+class TestGlobalsEmission:
+    def test_initialized_scalar(self):
+        text = asm("int counter = -3;\nint main() { return counter; }")
+        assert "gv_counter: .word -3" in text
+
+    def test_char_global(self):
+        text = asm("char flag = 'y';\nint main() { return flag; }")
+        assert "gv_flag: .byte %d" % ord("y") in text
+
+    def test_aggregate_reserves_space(self):
+        text = asm("""
+        struct s { int a; int b; };
+        struct s pair;
+        int tbl[16];
+        int main() { return 0; }
+        """)
+        assert "gv_pair: .space 8" in text
+        assert "gv_tbl: .space 64" in text
+
+    def test_string_pointer_global_gets_metadata_init(self):
+        text = asm('char *msg = "mc";\nint main() { return 0; }')
+        assert re.search(r"setbound r1, r1, 3", text)
+        assert "store [gv_msg], r1" in text

@@ -1,0 +1,90 @@
+"""Compilation driver: mode resolution, stdlib inclusion, pipeline."""
+
+import pytest
+
+from repro.isa import Program
+from repro.machine import MachineConfig, SafetyMode
+from repro.minic import InstrumentMode, compile_program, compile_to_asm
+from repro.minic.driver import compile_and_run, mode_for_config
+
+
+def test_mode_for_config():
+    assert mode_for_config(MachineConfig.plain()) is InstrumentMode.NONE
+    assert mode_for_config(MachineConfig.malloc_only()) is \
+        InstrumentMode.HEAP_ONLY
+    assert mode_for_config(MachineConfig.hardbound()) is \
+        InstrumentMode.HARDBOUND
+
+
+def test_compile_program_returns_linked_program():
+    program = compile_program("int main() { return 0; }")
+    assert isinstance(program, Program)
+    assert "main" in program.labels
+    assert "fn_main" in program.labels
+
+
+def test_stdlib_can_be_excluded():
+    with_lib = compile_to_asm("int main() { return 0; }")
+    without = compile_to_asm("int main() { return 0; }",
+                             include_stdlib=False)
+    assert "fn_malloc" in with_lib
+    assert "fn_malloc" not in without
+    assert len(without) < len(with_lib)
+
+
+def test_explicit_mode_overrides_config_default():
+    # plain core, but explicitly instrumented binary: the paper's
+    # forward-compatibility story (Section 4.5) — setbound runs as an
+    # effective no-op and the program behaves identically
+    result = compile_and_run("""
+    int main() {
+        int a[4];
+        int *p = a;
+        p[2] = 9;
+        return p[2];
+    }""", MachineConfig.plain(timing=False),
+        mode=InstrumentMode.HARDBOUND)
+    assert result.exit_code == 9
+
+
+def test_instrumented_binary_is_larger():
+    plain = compile_program("""
+    int main() {
+        int a[8];
+        for (int i = 0; i < 8; i++) { a[i] = i; }
+        return a[7];
+    }""", InstrumentMode.NONE)
+    hard = compile_program("""
+    int main() {
+        int a[8];
+        for (int i = 0; i < 8; i++) { a[i] = i; }
+        return a[7];
+    }""", InstrumentMode.HARDBOUND)
+    assert len(hard.instrs) > len(plain.instrs)
+
+
+def test_same_binary_runs_on_all_cores():
+    """One fully instrumented binary, three machine configurations."""
+    source = """
+    int main() {
+        int *p = (int*)malloc(8);
+        p[0] = 3; p[1] = 4;
+        return p[0] * p[0] + p[1] * p[1];
+    }"""
+    program = compile_program(source, InstrumentMode.HARDBOUND)
+    from repro.machine import CPU
+    for config in (MachineConfig.plain(timing=False),
+                   MachineConfig.malloc_only(timing=False),
+                   MachineConfig.hardbound(timing=False)):
+        assert CPU(program, config).run().exit_code == 25
+
+
+def test_compile_and_run_default_config_is_hardbound():
+    from repro.machine import BoundsError
+    with pytest.raises(BoundsError):
+        compile_and_run("""
+        int main() {
+            char *p = (char*)malloc(2);
+            p[2] = 'x';
+            return 0;
+        }""")

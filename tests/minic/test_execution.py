@@ -1,0 +1,460 @@
+"""End-to-end MiniC execution tests (compile + run on the simulator).
+
+Each test compiles a small program with full HardBound instrumentation
+and checks its output / exit code — the ``77 additional programs``
+style of functional validation from Section 5.2.
+"""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.minic import compile_and_run
+
+CFG = MachineConfig.hardbound(timing=False)
+
+
+def run(source, config=CFG):
+    return compile_and_run(source, config)
+
+
+def outputs(source, config=CFG):
+    return run(source, config).output
+
+
+def exit_code(source, config=CFG):
+    return run(source, config).exit_code
+
+
+class TestBasics:
+    def test_return_value_is_exit_code(self):
+        assert exit_code("int main() { return 42; }") == 42
+
+    def test_arithmetic(self):
+        assert exit_code("""
+        int main() { return (2 + 3 * 4 - 5) / 3 % 4; }
+        """) == 3
+
+    def test_negative_numbers(self):
+        assert exit_code("int main() { return -7 / 2; }") == -3
+
+    def test_modulo_negative(self):
+        assert exit_code("int main() { return -7 % 3; }") == -1
+
+    def test_bitwise(self):
+        assert exit_code("""
+        int main() { return (12 & 10) | (1 ^ 3) | (1 << 4) | (32 >> 2); }
+        """) == ((12 & 10) | (1 ^ 3) | (1 << 4) | (32 >> 2))
+
+    def test_comparisons(self):
+        assert exit_code("""
+        int main() {
+            return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1)
+                 + (1 != 1);
+        }""") == 4
+
+    def test_logical_short_circuit(self):
+        assert outputs("""
+        int side(int x) { print(x); return x; }
+        int main() {
+            int r;
+            r = side(0) && side(1);
+            r = side(2) || side(3);
+            return 0;
+        }""") == "0\n2\n"
+
+    def test_ternary(self):
+        assert exit_code("int main() { return 1 ? 10 : 20; }") == 10
+        assert exit_code("int main() { return 0 ? 10 : 20; }") == 20
+
+    def test_print(self):
+        assert outputs("int main() { print(123); return 0; }") == "123\n"
+
+    def test_char_literals_and_printc(self):
+        assert outputs("""
+        int main() { printc('h'); printc('i'); printc('\\n'); return 0; }
+        """) == "hi\n"
+
+    def test_unary_ops(self):
+        assert exit_code("int main() { return -(-5) + ~0 + !0 + !7; }") \
+            == 5 - 1 + 1 + 0
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        int classify(int x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        int main() { return classify(%d) + 1; }
+        """
+        assert exit_code(src % -5) == 0
+        assert exit_code(src % 0) == 1
+        assert exit_code(src % 9) == 2
+
+    def test_while_loop(self):
+        assert exit_code("""
+        int main() {
+            int i = 0; int sum = 0;
+            while (i < 10) { sum += i; i++; }
+            return sum;
+        }""") == 45
+
+    def test_for_loop_with_decl(self):
+        assert exit_code("""
+        int main() {
+            int sum = 0;
+            for (int i = 1; i <= 5; i++) { sum += i * i; }
+            return sum;
+        }""") == 55
+
+    def test_break_continue(self):
+        assert exit_code("""
+        int main() {
+            int sum = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2) { continue; }
+                if (i > 10) { break; }
+                sum += i;
+            }
+            return sum;
+        }""") == 0 + 2 + 4 + 6 + 8 + 10
+
+    def test_nested_loops(self):
+        assert exit_code("""
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) {
+                    if (j > i) { break; }
+                    count++;
+                }
+            }
+            return count;
+        }""") == 1 + 2 + 3 + 4
+
+
+class TestFunctions:
+    def test_recursion_factorial(self):
+        assert exit_code("""
+        int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+        int main() { return fact(6) % 251; }
+        """) == 720 % 251
+
+    def test_fibonacci_recursive(self):
+        assert exit_code("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """) == 55
+
+    def test_many_arguments(self):
+        assert exit_code("""
+        int f(int a, int b, int c, int d, int e) {
+            return a + 2*b + 3*c + 4*d + 5*e;
+        }
+        int main() { return f(1, 2, 3, 4, 5); }
+        """) == 1 + 4 + 9 + 16 + 25
+
+    def test_mutual_recursion(self):
+        assert exit_code("""
+        int is_odd(int n);
+        int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+        int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """) == 11
+
+    def test_void_function(self):
+        assert outputs("""
+        void greet(int n) { print(n); }
+        int main() { greet(7); return 0; }
+        """) == "7\n"
+
+    def test_call_preserves_live_temporaries(self):
+        # the caller-save discipline around calls
+        assert exit_code("""
+        int g(int x) { return x * 2; }
+        int main() { return 100 + g(3) + g(4); }
+        """) == 114
+
+
+class TestPointersAndArrays:
+    def test_local_array_sum(self):
+        assert exit_code("""
+        int main() {
+            int a[5];
+            for (int i = 0; i < 5; i++) { a[i] = i * i; }
+            int sum = 0;
+            for (int i = 0; i < 5; i++) { sum += a[i]; }
+            return sum;
+        }""") == 30
+
+    def test_pointer_walk(self):
+        assert exit_code("""
+        int main() {
+            int a[4];
+            int *p = a;
+            for (int i = 0; i < 4; i++) { *p = i + 1; p++; }
+            int *q = a;
+            int sum = 0;
+            while (q < a + 4) { sum += *q; q++; }
+            return sum;
+        }""") == 10
+
+    def test_address_of_and_deref(self):
+        assert exit_code("""
+        int main() {
+            int x = 3;
+            int *p = &x;
+            *p = 17;
+            return x;
+        }""") == 17
+
+    def test_pointer_to_pointer(self):
+        assert exit_code("""
+        int main() {
+            int x = 1;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 9;
+            return x;
+        }""") == 9
+
+    def test_pointer_difference(self):
+        assert exit_code("""
+        int main() {
+            int a[10];
+            int *p = &a[2];
+            int *q = &a[7];
+            return q - p;
+        }""") == 5
+
+    def test_char_array_and_strings(self):
+        assert outputs("""
+        int main() {
+            char buf[16];
+            strcpy(buf, "hello");
+            puts(buf);
+            return strlen(buf);
+        }""") == "hello\n"
+
+    def test_strcmp(self):
+        assert exit_code("""
+        int main() {
+            return (strcmp("abc", "abc") == 0)
+                 + 2 * (strcmp("abc", "abd") < 0)
+                 + 4 * (strcmp("b", "a") > 0);
+        }""") == 7
+
+    def test_global_array(self):
+        assert exit_code("""
+        int table[8];
+        int main() {
+            for (int i = 0; i < 8; i++) { table[i] = i; }
+            return table[3] + table[7];
+        }""") == 10
+
+    def test_global_scalar_init(self):
+        assert exit_code("""
+        int counter = 5;
+        int step = -2;
+        int main() { counter += step; return counter; }
+        """) == 3
+
+    def test_global_string_pointer(self):
+        assert outputs("""
+        char *msg = "boot";
+        int main() { puts(msg); return 0; }
+        """) == "boot\n"
+
+    def test_array_passed_to_function(self):
+        assert exit_code("""
+        int sum(int *a, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += a[i]; }
+            return s;
+        }
+        int main() {
+            int data[6];
+            for (int i = 0; i < 6; i++) { data[i] = i + 1; }
+            return sum(data, 6);
+        }""") == 21
+
+    def test_two_dimensional_array(self):
+        assert exit_code("""
+        int main() {
+            int m[3][4];
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 4; j++) { m[i][j] = i * 4 + j; }
+            }
+            return m[2][3];
+        }""") == 11
+
+
+class TestStructs:
+    def test_struct_fields(self):
+        assert exit_code("""
+        struct point { int x; int y; };
+        int main() {
+            struct point p;
+            p.x = 3;
+            p.y = 4;
+            return p.x * p.x + p.y * p.y;
+        }""") == 25
+
+    def test_struct_pointer_arrow(self):
+        assert exit_code("""
+        struct point { int x; int y; };
+        int main() {
+            struct point p;
+            struct point *q = &p;
+            q->x = 10;
+            q->y = 20;
+            return p.x + p.y;
+        }""") == 30
+
+    def test_heap_struct_linked_list(self):
+        assert exit_code("""
+        struct node { int val; struct node *next; };
+        int main() {
+            struct node *head = (struct node*)0;
+            for (int i = 1; i <= 5; i++) {
+                struct node *n = (struct node*)
+                    malloc(sizeof(struct node));
+                n->val = i;
+                n->next = head;
+                head = n;
+            }
+            int sum = 0;
+            while (head) { sum += head->val; head = head->next; }
+            return sum;
+        }""") == 15
+
+    def test_struct_with_char_array(self):
+        assert outputs("""
+        struct rec { char name[8]; int id; };
+        int main() {
+            struct rec r;
+            strcpy(r.name, "abc");
+            r.id = 7;
+            puts(r.name);
+            print(r.id);
+            return 0;
+        }""") == "abc\n7\n"
+
+    def test_nested_struct_member(self):
+        assert exit_code("""
+        struct inner { int a; int b; };
+        struct outer { int tag; struct inner in; };
+        int main() {
+            struct outer o;
+            o.tag = 1;
+            o.in.a = 2;
+            o.in.b = 3;
+            return o.tag + o.in.a + o.in.b;
+        }""") == 6
+
+    def test_sizeof_struct_alignment(self):
+        assert exit_code("""
+        struct s { char c; int x; };
+        int main() { return sizeof(struct s); }
+        """) == 8
+
+    def test_array_of_structs(self):
+        assert exit_code("""
+        struct pair { int a; int b; };
+        int main() {
+            struct pair ps[4];
+            for (int i = 0; i < 4; i++) {
+                ps[i].a = i;
+                ps[i].b = i * 10;
+            }
+            return ps[3].a + ps[2].b;
+        }""") == 23
+
+
+class TestHeap:
+    def test_malloc_roundtrip(self):
+        assert exit_code("""
+        int main() {
+            int *p = (int*)malloc(4 * sizeof(int));
+            for (int i = 0; i < 4; i++) { p[i] = i + 10; }
+            return p[0] + p[3];
+        }""") == 23
+
+    def test_free_and_reuse(self):
+        assert exit_code("""
+        int main() {
+            int *a = (int*)malloc(16);
+            free((void*)a);
+            int *b = (int*)malloc(16);
+            b[0] = 5;
+            return (a == b) + b[0];
+        }""") == 6
+
+    def test_calloc_zeroes(self):
+        assert exit_code("""
+        int main() {
+            int *p = (int*)calloc(8, sizeof(int));
+            int sum = 0;
+            for (int i = 0; i < 8; i++) { sum += p[i]; }
+            return sum;
+        }""") == 0
+
+    def test_memcpy_memset(self):
+        assert exit_code("""
+        int main() {
+            char a[8];
+            char b[8];
+            memset((void*)a, 7, 8);
+            memcpy((void*)b, (void*)a, 8);
+            return b[0] + b[7];
+        }""") == 14
+
+    def test_rand_deterministic(self):
+        out = outputs("""
+        int main() {
+            srand(42);
+            print(rand());
+            print(rand());
+            return 0;
+        }""")
+        lines = out.strip().split("\n")
+        assert len(lines) == 2
+        assert all(0 <= int(x) <= 32767 for x in lines)
+
+
+class TestCasts:
+    def test_char_truncation(self):
+        assert exit_code("int main() { return (char)(256 + 65); }") == 65
+
+    def test_pointer_int_roundtrip_keeps_bounds(self):
+        """Section 6.1's example: cast to int and back still works."""
+        assert exit_code("""
+        int main() {
+            int x = 17;
+            char *z = (char*)&x;
+            int a = (int)z;
+            *(int*)a = 42;
+            return x;
+        }""") == 42
+
+    def test_void_pointer_passthrough(self):
+        assert exit_code("""
+        int main() {
+            int x = 5;
+            void *v = (void*)&x;
+            int *p = (int*)v;
+            return *p;
+        }""") == 5
+
+    def test_sizeof_expressions(self):
+        assert exit_code("""
+        int main() {
+            int a[10];
+            char c;
+            return sizeof(a) + sizeof(c) + sizeof(int*);
+        }""") == 40 + 1 + 4

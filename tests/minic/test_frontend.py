@@ -1,0 +1,208 @@
+"""MiniC front end: lexer, parser and semantic diagnostics."""
+
+import pytest
+
+from repro.minic.errors import LexError, ParseError, TypeError_
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.minic import ast
+from repro.minic.types import INT, PointerType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize('int x = 0x1F; // comment\nchar c = \'a\';')
+        kinds = [(t.kind, t.text) for t in toks if t.kind != "eof"]
+        assert ("kw", "int") in kinds
+        assert ("id", "x") in kinds
+        assert any(t.kind == "num" and t.value == 31 for t in toks)
+        assert any(t.kind == "char" and t.value == 97 for t in toks)
+
+    def test_block_comments_and_newlines(self):
+        toks = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in toks if t.kind == "id"] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\n\t\\\"\x41"')
+        assert toks[0].value == 'a\n\t\\"A'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="comment"):
+            tokenize("/* nope")
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(LexError, match="hex"):
+            tokenize(r'"\xZZ"')
+
+    def test_multichar_operators_lex_greedily(self):
+        toks = tokenize("a <<= b >>= c -> d ++ --")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<<=", ">>=", "->", "++", "--"]
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        unit = parse("int main() { return 1 + 2 * 3; }")
+        ret = unit.decls[0].body.stmts[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_assignment_is_right_associative(self):
+        unit = parse("int main() { int a; int b; a = b = 1; }")
+        expr = unit.decls[0].body.stmts[2].expr
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_declarator_arrays_and_pointers(self):
+        unit = parse("int **p; char grid[3][4];")
+        p, grid = unit.decls
+        assert repr(p.type) == "int**"
+        assert grid.type.length == 3
+        assert grid.type.element.length == 4
+
+    def test_struct_forward_reference(self):
+        unit = check("""
+        struct node { int v; struct node *next; };
+        int main() { return sizeof(struct node); }
+        """)
+        assert unit.structs["node"].size == 8
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return (1; }")
+
+    def test_typedef_rejected_clearly(self):
+        with pytest.raises(ParseError, match="typedef"):
+            parse("typedef int myint;")
+
+    def test_empty_statement_allowed(self):
+        unit = parse("int main() { ;;; return 0; }")
+        assert len(unit.decls[0].body.stmts) == 1
+
+    def test_comma_expression(self):
+        unit = parse("int main() { int a; a = (1, 2); return a; }")
+        assert unit is not None
+
+    def test_prototype_then_definition(self):
+        unit = check("""
+        int f(int x);
+        int f(int x) { return x; }
+        int main() { return f(1); }
+        """)
+        assert unit is not None
+
+
+class TestSemaDiagnostics:
+    CASES = [
+        ("int main() { return x; }", "undeclared identifier"),
+        ("int main() { int x; int x; return 0; }", "redefinition"),
+        ("int main() { break; }", "outside a loop"),
+        ("void f() { return 1; }", "void function returns"),
+        ("int f() { return; }", "return without value"),
+        ("int main() { int x; x(); return 0; }", "undeclared function"),
+        ("int main() { 5 = 3; return 0; }", "not assignable"),
+        ("int main() { int x; return *x; }", "cannot dereference"),
+        ("int main() { void *v; return *v; }", "void"),
+        ("int main() { int a[2]; a.x = 1; return 0; }",
+         "on non-struct"),
+        ("struct s { int a; }; int main() { struct s v; return v.b; }",
+         "no field"),
+        ("int f(int a) { return a; } int main() { return f(); }",
+         "expects 1 argument"),
+        ("int main() { int *p; p = 5; return 0; }", "cannot assign"),
+        ("int main() { int *p; int *q; return p * q; }",
+         "invalid operands"),
+        ("struct s; int main() { struct s v; return 0; }",
+         "incomplete"),
+        ("int f() { return 0; } int f() { return 1; }",
+         "redefinition"),
+        ("int main() { return sizeof(struct nope); }", "incomplete"),
+        ("int print(int x) { return x; }", "builtin"),
+    ]
+
+    @pytest.mark.parametrize("source,message", CASES)
+    def test_diagnostic(self, source, message):
+        with pytest.raises(TypeError_, match=message):
+            check(source)
+
+    def test_int_to_pointer_requires_cast(self):
+        with pytest.raises(TypeError_):
+            check("int main() { int *p; p = 4096; return 0; }")
+        check("int main() { int *p; p = (int*)4096; return 0; }")
+
+    def test_pointer_difference_requires_same_type(self):
+        with pytest.raises(TypeError_, match="pointer difference"):
+            check("""
+            int main() {
+                int *p; char *q;
+                return p - q;
+            }""")
+
+    def test_void_pointer_is_universal(self):
+        check("""
+        int main() {
+            void *v; int *p; char *c;
+            v = p; c = (char*)v; p = (int*)v;
+            return 0;
+        }""")
+
+
+class TestSemaAnnotation:
+    def test_expression_types(self):
+        unit = check("""
+        int g;
+        int main() {
+            int *p = &g;
+            return *p + 1;
+        }""")
+        ret = unit.decls[1].body.stmts[1]
+        binary = ret.value
+        assert binary.ty == INT
+        assert binary.left.operand.ty == PointerType(INT)
+
+    def test_array_decay_annotation(self):
+        unit = check("""
+        int main() {
+            int a[4];
+            int *p = a;
+            return 0;
+        }""")
+        decl = unit.decls[0].body.stmts[1].decl
+        assert decl.init.ty == PointerType(INT)
+
+    def test_frame_layout_offsets(self):
+        unit = check("""
+        int f(int a, int b) {
+            int x;
+            char buf[6];
+            int y;
+            return 0;
+        }""")
+        sym = unit.decls[0].symbol
+        assert sym.frame_size >= 4 + 8 + 4
+        body = unit.decls[0].body
+        x = body.stmts[0].decl.symbol
+        buf = body.stmts[1].decl.symbol
+        y = body.stmts[2].decl.symbol
+        assert x.offset < buf.offset < y.offset
+        # params above the saved fp/ra pair
+        params = [s for s in (x, buf, y)]
+        assert all(p.offset > 0 for p in params)

@@ -1,0 +1,108 @@
+"""Section 8's "unbound the pointer" optimization.
+
+When the compiler can prove a constant-index array access is in
+bounds, no bounded pointer is needed: the access compiles to a direct
+frame/absolute operand, eliminating setbound and check costs with
+identical semantics.
+"""
+
+import re
+
+import pytest
+
+from repro.machine import BoundsError, CPU, MachineConfig
+from repro.minic import InstrumentMode, compile_program, compile_to_asm
+
+CFG = MachineConfig.hardbound(timing=False)
+
+SRC = """
+int tbl[4];
+int main() {
+    int a[4];
+    a[0] = 10;
+    a[3] = 20;
+    tbl[1] = 30;
+    return a[0] + a[3] + tbl[1];
+}
+"""
+
+
+def test_removes_setbounds_for_constant_indices():
+    baseline = compile_to_asm(SRC, include_stdlib=False)
+    optimized = compile_to_asm(SRC, include_stdlib=False,
+                               optimize_static=True)
+    assert baseline.count("setbound") > optimized.count("setbound")
+    assert optimized.count("setbound") == 0
+    assert re.search(r"store \[fp - \d+\], r\d+", optimized)
+    assert re.search(r"\[gv_tbl \+ 4\]", optimized)
+
+
+def test_semantics_identical():
+    for optimize in (False, True):
+        program = compile_program(SRC, include_stdlib=False,
+                                  optimize_static=optimize)
+        assert CPU(program, CFG).run().exit_code == 60
+
+
+def test_out_of_bounds_constant_is_not_optimized():
+    """A provably *bad* index must keep the checked path and trap."""
+    source = """
+    int main() {
+        int a[4];
+        a[4] = 1;
+        return 0;
+    }"""
+    text = compile_to_asm(source, include_stdlib=False,
+                          optimize_static=True)
+    assert "setbound" in text
+    program = compile_program(source, include_stdlib=False,
+                              optimize_static=True)
+    with pytest.raises(BoundsError):
+        CPU(program, CFG).run()
+
+
+def test_variable_index_keeps_checked_path():
+    source = """
+    int main() {
+        int a[4];
+        int i = 2;
+        a[i] = 1;
+        return a[i];
+    }"""
+    text = compile_to_asm(source, include_stdlib=False,
+                          optimize_static=True)
+    assert "setbound" in text
+
+
+def test_optimization_reduces_uops():
+    source = """
+    int main() {
+        int a[8];
+        int sum = 0;
+        for (int i = 0; i < 1000; i++) {
+            a[1] = i;
+            sum += a[1] + a[2];
+        }
+        return sum & 63;
+    }"""
+    plain = CPU(compile_program(source, include_stdlib=False),
+                CFG).run()
+    fast = CPU(compile_program(source, include_stdlib=False,
+                               optimize_static=True), CFG).run()
+    assert fast.exit_code == plain.exit_code
+    assert fast.uops < plain.uops
+
+
+def test_member_and_pointer_accesses_unaffected():
+    source = """
+    struct s { int f[2]; };
+    int main() {
+        struct s v;
+        int *p = v.f;
+        p[1] = 5;
+        return v.f[1];
+    }"""
+    for optimize in (False, True):
+        program = compile_program(source, include_stdlib=False,
+                                  optimize_static=optimize)
+        assert CPU(program, CFG).run().exit_code == 5

@@ -1,0 +1,380 @@
+"""A battery of realistic MiniC programs with verified outputs.
+
+The paper validated its simulator on "77 additional programs" beyond
+the violation corpus; this module is our equivalent: classic
+algorithms exercising every language feature under full HardBound
+instrumentation, each checked against a Python-computed expectation
+and (for a sample) against the uninstrumented core.
+"""
+
+import pytest
+
+from repro.machine import CPU, MachineConfig
+from repro.minic import InstrumentMode, compile_program, compile_and_run
+
+HB = MachineConfig.hardbound(timing=False)
+
+
+def run(source):
+    return compile_and_run(source, HB)
+
+
+class TestSorting:
+    def test_bubble_sort(self):
+        result = run("""
+        int main() {
+            int a[8];
+            int seed = 7;
+            for (int i = 0; i < 8; i++) {
+                seed = seed * 75 + 74;
+                a[i] = seed % 100;
+            }
+            for (int i = 0; i < 8; i++) {
+                for (int j = 0; j + 1 < 8 - i; j++) {
+                    if (a[j] > a[j + 1]) {
+                        int t = a[j];
+                        a[j] = a[j + 1];
+                        a[j + 1] = t;
+                    }
+                }
+            }
+            for (int i = 0; i + 1 < 8; i++) {
+                if (a[i] > a[i + 1]) { return 1; }
+            }
+            return 0;
+        }""")
+        assert result.exit_code == 0
+
+    def test_insertion_sort_prints_sorted(self):
+        values = [42, 7, 19, 3, 88, 23]
+        result = run("""
+        int main() {
+            int a[6];
+            %s
+            for (int i = 1; i < 6; i++) {
+                int key = a[i];
+                int j = i - 1;
+                while (j >= 0 && a[j] > key) {
+                    a[j + 1] = a[j];
+                    j--;
+                }
+                a[j + 1] = key;
+            }
+            for (int i = 0; i < 6; i++) { print(a[i]); }
+            return 0;
+        }""" % "".join("a[%d] = %d; " % (i, v)
+                       for i, v in enumerate(values)))
+        assert result.output == "".join("%d\n" % v
+                                        for v in sorted(values))
+
+    def test_quicksort_recursive(self):
+        values = [5, 2, 9, 1, 7, 3, 8, 6, 4, 0]
+        result = run("""
+        void qsort_(int *a, int lo, int hi) {
+            if (lo >= hi) { return; }
+            int pivot = a[hi];
+            int i = lo - 1;
+            for (int j = lo; j < hi; j++) {
+                if (a[j] < pivot) {
+                    i++;
+                    int t = a[i]; a[i] = a[j]; a[j] = t;
+                }
+            }
+            int t = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t;
+            qsort_(a, lo, i);
+            qsort_(a, i + 2, hi);
+        }
+        int main() {
+            int a[10];
+            %s
+            qsort_(a, 0, 9);
+            for (int i = 0; i < 10; i++) { print(a[i]); }
+            return 0;
+        }""" % "".join("a[%d] = %d; " % (i, v)
+                       for i, v in enumerate(values)))
+        assert result.output == "".join("%d\n" % v
+                                        for v in sorted(values))
+
+
+class TestDataStructures:
+    def test_binary_search(self):
+        result = run("""
+        int bsearch_(int *a, int n, int key) {
+            int lo = 0;
+            int hi = n - 1;
+            while (lo <= hi) {
+                int mid = (lo + hi) / 2;
+                if (a[mid] == key) { return mid; }
+                if (a[mid] < key) { lo = mid + 1; }
+                else { hi = mid - 1; }
+            }
+            return -1;
+        }
+        int main() {
+            int a[16];
+            for (int i = 0; i < 16; i++) { a[i] = i * 3; }
+            return bsearch_(a, 16, 27) * 10 + (bsearch_(a, 16, 28) + 1);
+        }""")
+        assert result.exit_code == 90  # index 9, miss -> -1+1 = 0
+
+    def test_fifo_queue_on_heap(self):
+        result = run("""
+        struct q { int data[8]; int head; int tail; };
+        void enqueue(struct q *qp, int v) {
+            qp->data[qp->tail % 8] = v;
+            qp->tail++;
+        }
+        int dequeue(struct q *qp) {
+            int v = qp->data[qp->head % 8];
+            qp->head++;
+            return v;
+        }
+        int main() {
+            struct q *qp = (struct q*)malloc(sizeof(struct q));
+            qp->head = 0;
+            qp->tail = 0;
+            for (int i = 1; i <= 5; i++) { enqueue(qp, i * i); }
+            int sum = 0;
+            while (qp->head != qp->tail) { sum += dequeue(qp); }
+            return sum;
+        }""")
+        assert result.exit_code == 1 + 4 + 9 + 16 + 25
+
+    def test_open_addressing_hash_map(self):
+        result = run("""
+        int keys[32];
+        int vals[32];
+        int used[32];
+        void put(int k, int v) {
+            int i = (k * 2654435761) % 32;
+            if (i < 0) { i += 32; }
+            while (used[i] && keys[i] != k) { i = (i + 1) % 32; }
+            used[i] = 1;
+            keys[i] = k;
+            vals[i] = v;
+        }
+        int get(int k) {
+            int i = (k * 2654435761) % 32;
+            if (i < 0) { i += 32; }
+            while (used[i]) {
+                if (keys[i] == k) { return vals[i]; }
+                i = (i + 1) % 32;
+            }
+            return -1;
+        }
+        int main() {
+            for (int k = 0; k < 20; k++) { put(k * 7, k); }
+            return get(7 * 13) * 10 + (get(999) + 1);
+        }""")
+        assert result.exit_code == 130
+
+    def test_doubly_linked_list_reversal(self):
+        result = run("""
+        struct node { int v; struct node *prev; struct node *next; };
+        int main() {
+            struct node *head = (struct node*)0;
+            struct node *tail = (struct node*)0;
+            for (int i = 1; i <= 6; i++) {
+                struct node *n = (struct node*)
+                    malloc(sizeof(struct node));
+                n->v = i;
+                n->next = (struct node*)0;
+                n->prev = tail;
+                if (tail) { tail->next = n; } else { head = n; }
+                tail = n;
+            }
+            // walk backwards
+            int acc = 0;
+            for (struct node *n = tail; n; n = n->prev) {
+                acc = acc * 10 + n->v;
+            }
+            return acc %% 251;
+        }""".replace("%%", "%"))
+        assert result.exit_code == 654321 % 251
+
+    def test_binary_tree_height_and_count(self):
+        result = run("""
+        struct t { struct t *l; struct t *r; };
+        struct t *build(int depth) {
+            if (depth == 0) { return (struct t*)0; }
+            struct t *n = (struct t*)malloc(sizeof(struct t));
+            n->l = build(depth - 1);
+            n->r = depth > 2 ? build(depth - 2) : (struct t*)0;
+            return n;
+        }
+        int count(struct t *n) {
+            if (!n) { return 0; }
+            return 1 + count(n->l) + count(n->r);
+        }
+        int height(struct t *n) {
+            if (!n) { return 0; }
+            int hl = height(n->l);
+            int hr = height(n->r);
+            return 1 + (hl > hr ? hl : hr);
+        }
+        int main() {
+            struct t *root = build(6);
+            return count(root) * 10 + height(root);
+        }""")
+        # fibonacci-ish tree: verified against the same recurrence
+        def build_count(d):
+            if d == 0:
+                return 0, 0
+            cl, hl = build_count(d - 1)
+            cr, hr = build_count(d - 2) if d > 2 else (0, 0)
+            return 1 + cl + cr, 1 + max(hl, hr)
+        count, height = build_count(6)
+        assert result.exit_code == count * 10 + height
+
+
+class TestStringsAndMisc:
+    def test_string_reverse_in_place(self):
+        result = run("""
+        int main() {
+            char buf[16];
+            strcpy(buf, "hardbound");
+            int n = strlen(buf);
+            for (int i = 0; i < n / 2; i++) {
+                char t = buf[i];
+                buf[i] = buf[n - 1 - i];
+                buf[n - 1 - i] = t;
+            }
+            puts(buf);
+            return 0;
+        }""")
+        assert result.output == "dnuobdrah\n"
+
+    def test_atoi_and_itoa(self):
+        result = run("""
+        int atoi_(char *s) {
+            int v = 0;
+            int neg = 0;
+            int i = 0;
+            if (s[0] == '-') { neg = 1; i = 1; }
+            while (s[i]) { v = v * 10 + ((int)s[i] - '0'); i++; }
+            return neg ? -v : v;
+        }
+        int main() {
+            print(atoi_("12345"));
+            print(atoi_("-678"));
+            return 0;
+        }""")
+        assert result.output == "12345\n-678\n"
+
+    def test_sieve_of_eratosthenes(self):
+        result = run("""
+        int main() {
+            char sieve[100];
+            memset((void*)sieve, 1, 100);
+            sieve[0] = 0;
+            sieve[1] = 0;
+            for (int i = 2; i * i < 100; i++) {
+                if (sieve[i]) {
+                    for (int j = i * i; j < 100; j += i) {
+                        sieve[j] = 0;
+                    }
+                }
+            }
+            int count = 0;
+            for (int i = 0; i < 100; i++) { count += (int)sieve[i]; }
+            return count;
+        }""")
+        assert result.exit_code == 25  # primes below 100
+
+    def test_matrix_multiply(self):
+        result = run("""
+        int main() {
+            int a[3][3];
+            int b[3][3];
+            int c[3][3];
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 3; j++) {
+                    a[i][j] = i + j;
+                    b[i][j] = i * 3 + j;
+                    c[i][j] = 0;
+                }
+            }
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 3; j++) {
+                    for (int k = 0; k < 3; k++) {
+                        c[i][j] += a[i][k] * b[k][j];
+                    }
+                }
+            }
+            return c[2][2];
+        }""")
+        a = [[i + j for j in range(3)] for i in range(3)]
+        b = [[i * 3 + j for j in range(3)] for i in range(3)]
+        expected = sum(a[2][k] * b[k][2] for k in range(3))
+        assert result.exit_code == expected
+
+    def test_gcd_and_collatz(self):
+        result = run("""
+        int gcd(int a, int b) { return b ? gcd(b, a % b) : a; }
+        int collatz(int n) {
+            int steps = 0;
+            while (n != 1) {
+                n = n % 2 ? 3 * n + 1 : n / 2;
+                steps++;
+            }
+            return steps;
+        }
+        int main() { return gcd(48, 36) * 10 + collatz(27) % 10; }
+        """)
+        def collatz(n):
+            steps = 0
+            while n != 1:
+                n = 3 * n + 1 if n % 2 else n // 2
+                steps += 1
+            return steps
+        assert result.exit_code == 12 * 10 + collatz(27) % 10
+
+
+class TestCrossCoreAgreement:
+    """Every battery program must behave identically uninstrumented."""
+
+    SOURCES = [
+        """
+        int main() {
+            int *p = (int*)calloc(6, sizeof(int));
+            for (int i = 0; i < 6; i++) { p[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 6; i++) { s += p[i]; }
+            print(s);
+            return 0;
+        }""",
+        """
+        struct pt { int x; int y; };
+        int main() {
+            struct pt ring[5];
+            for (int i = 0; i < 5; i++) {
+                ring[i].x = i;
+                ring[i].y = (i * i) %% 7;
+            }
+            int acc = 0;
+            for (int i = 0; i < 5; i++) {
+                acc += ring[i].x * ring[(i + 1) %% 5].y;
+            }
+            print(acc);
+            return 0;
+        }""".replace("%%", "%"),
+        """
+        int main() {
+            char *words[3];
+            words[0] = "alpha";
+            words[1] = "beta";
+            words[2] = "gamma";
+            for (int i = 0; i < 3; i++) { puts(words[i]); }
+            print(strcmp(words[0], words[2]) < 0);
+            return 0;
+        }""",
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(SOURCES)))
+    def test_agreement(self, idx):
+        source = self.SOURCES[idx]
+        hb = compile_and_run(source, HB)
+        plain = CPU(compile_program(source, InstrumentMode.NONE),
+                    MachineConfig.plain(timing=False)).run()
+        assert hb.output == plain.output
+        assert hb.exit_code == plain.exit_code

@@ -1,0 +1,310 @@
+"""Spatial-safety detection through compiled MiniC programs.
+
+These are the paper's motivating scenarios (Sections 2.2, 3.2, 6.1)
+expressed in C and compiled with full instrumentation: every violation
+must trap, and the matched safe variants must not (no false
+positives).
+"""
+
+import pytest
+
+from repro.machine import (
+    BoundsError,
+    MachineConfig,
+    NonPointerError,
+    SafetyMode,
+    Trap,
+)
+from repro.minic import compile_and_run
+
+CFG = MachineConfig.hardbound(timing=False)
+
+
+def run(source, config=CFG):
+    return compile_and_run(source, config)
+
+
+class TestHeapViolations:
+    def test_heap_overflow_one_past_end(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int *p = (int*)malloc(4 * sizeof(int));
+                p[4] = 1;           // one element past the end
+                return 0;
+            }""")
+
+    def test_heap_read_overflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int *p = (int*)malloc(8);
+                return p[2];
+            }""")
+
+    def test_heap_underflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int *p = (int*)malloc(8);
+                p[-1] = 3;          // below the allocation
+                return 0;
+            }""")
+
+    def test_byte_granular_heap_bound(self):
+        """malloc bounds are the *requested* size, not the rounded
+        chunk: a 5-byte allocation traps at offset 5."""
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                char *p = (char*)malloc(5);
+                p[5] = 'x';
+                return 0;
+            }""")
+
+    def test_exact_fit_is_fine(self):
+        assert run("""
+        int main() {
+            char *p = (char*)malloc(5);
+            for (int i = 0; i < 5; i++) { p[i] = 'a'; }
+            return p[4];
+        }""").exit_code == ord("a")
+
+    def test_pointer_walked_past_end(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int *p = (int*)malloc(12);
+                int sum = 0;
+                for (int i = 0; i <= 3; i++) { sum += *p; p++; }
+                return sum;   // 4th deref is out of bounds
+            }""")
+
+    def test_out_of_bounds_pointer_unused_is_legal(self):
+        """C allows pointing one past the end as long as it is not
+        dereferenced (Section 2.2's object-table discussion)."""
+        assert run("""
+        int main() {
+            int *p = (int*)malloc(12);
+            int *end = p + 3;      // one past the end: fine
+            int n = 0;
+            while (p < end) { *p = 1; p++; n++; }
+            return n;
+        }""").exit_code == 3
+
+
+class TestStackAndGlobalViolations:
+    def test_stack_array_overflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int a[4];
+                for (int i = 0; i <= 4; i++) { a[i] = i; }
+                return 0;
+            }""")
+
+    def test_global_array_overflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int g[4];
+            int main() {
+                int *p = g;
+                p[4] = 1;
+                return 0;
+            }""")
+
+    def test_address_taken_scalar_overflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                int i = 0;
+                int *j = &i;
+                j[1] = 5;            // past the single int
+                return 0;
+            }""")
+
+    def test_address_taken_scalar_legal_use(self):
+        assert run("""
+        int main() {
+            int i = 3;
+            int *j = &i;
+            *j = *j + 4;
+            return i;
+        }""").exit_code == 7
+
+    def test_array_argument_overflow_inside_callee(self):
+        """Bounds travel with the pointer through the call."""
+        with pytest.raises(BoundsError):
+            run("""
+            void fill(int *a, int n) {
+                for (int i = 0; i < n; i++) { a[i] = i; }
+            }
+            int main() {
+                int buf[4];
+                fill(buf, 5);        // callee overflows caller buffer
+                return 0;
+            }""")
+
+
+class TestSubObjectViolations:
+    """Section 2.2's killer example: array inside a struct."""
+
+    SRC = """
+    struct rec { char str[5]; int x; };
+    int main() {
+        struct rec node;
+        node.x = 1234;
+        char *ptr = node.str;
+        strcpy(ptr, "%s");
+        return node.x;
+    }"""
+
+    def test_strcpy_overflow_into_sibling_field_detected(self):
+        with pytest.raises(BoundsError):
+            run(self.SRC % "overflow")  # 9 bytes into a 5-byte member
+
+    def test_strcpy_exact_fit_no_false_positive(self):
+        assert run(self.SRC % "abcd").exit_code == 1234
+
+    def test_member_array_index_overflow(self):
+        with pytest.raises(BoundsError):
+            run("""
+            struct rec { int a[2]; int b[2]; };
+            int main() {
+                struct rec r;
+                int *p = r.a;
+                p[2] = 9;            // lands in r.b: sub-object violation
+                return 0;
+            }""")
+
+    def test_address_of_member_is_narrowed(self):
+        with pytest.raises(BoundsError):
+            run("""
+            struct pt { int x; int y; };
+            int main() {
+                struct pt p;
+                int *px = &p.x;
+                px[1] = 3;           // would hit p.y
+                return 0;
+            }""")
+
+    def test_heap_struct_member_narrowing(self):
+        with pytest.raises(BoundsError):
+            run("""
+            struct rec { char s[4]; int x; };
+            int main() {
+                struct rec *r = (struct rec*)malloc(sizeof(struct rec));
+                char *p = r->s;
+                p[4] = 'x';
+                return 0;
+            }""")
+
+    def test_whole_struct_pointer_can_reach_all_fields(self):
+        assert run("""
+        struct rec { char s[4]; int x; };
+        int main() {
+            struct rec *r = (struct rec*)malloc(sizeof(struct rec));
+            r->s[0] = 'a';
+            r->x = 7;
+            return r->x;
+        }""").exit_code == 7
+
+
+class TestCastSemantics:
+    """Section 6.1: casts are metadata no-ops; forging traps."""
+
+    def test_manufactured_pointer_traps(self):
+        with pytest.raises((NonPointerError, Trap)):
+            run("""
+            int main() {
+                int *w = (int*)4096;
+                *w = 42;             // no bounds info: illegal write
+                return 0;
+            }""")
+
+    def test_int_roundtrip_keeps_bounds(self):
+        assert run("""
+        int main() {
+            int x = 17;
+            char *z = (char*)&x;
+            int a = (int)z;
+            (*(int*)a) = 42;
+            return x;
+        }""").exit_code == 42
+
+    def test_explicit_setbound_redeems_forged_pointer(self):
+        """Programmers can bless a manufactured pointer (Section 3.2)."""
+        assert run("""
+        int main() {
+            int x = 5;
+            int raw = (int)&x;
+            int *p = (int*)__setbound((void*)raw, sizeof(int));
+            return *p;
+        }""").exit_code == 5
+
+    def test_upcast_then_downcast_via_void(self):
+        assert run("""
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            v.b = 9;
+            void *anon = (void*)&v;
+            struct s *back = (struct s*)anon;
+            return back->b;
+        }""").exit_code == 9
+
+
+class TestZeroLengthTrailingArray:
+    """Footnote 3: dynamic over-allocation of trailing arrays."""
+
+    SRC = """
+    struct msg { int len; char data[0]; };
+    int main() {
+        struct msg *m = (struct msg*)malloc(sizeof(struct msg) + 8);
+        m->len = 8;
+        char *d = m->data;
+        d[%d] = 'x';
+        return 0;
+    }"""
+
+    def test_within_allocation_ok(self):
+        run(self.SRC % 7)
+
+    def test_past_allocation_traps(self):
+        with pytest.raises(BoundsError):
+            run(self.SRC % 8)
+
+
+class TestMallocOnlyMode:
+    """Footnote 2: legacy binaries with only malloc instrumented."""
+
+    CFG = MachineConfig.malloc_only(timing=False)
+
+    def test_heap_overflow_detected(self):
+        with pytest.raises(BoundsError):
+            run("""
+            int main() {
+                char *p = (char*)malloc(4);
+                p[4] = 'x';
+                return 0;
+            }""", self.CFG)
+
+    def test_stack_overflow_not_detected(self):
+        """Stack arrays have no bounds in this mode: silent corruption
+        (bounded only by the stack segment)."""
+        result = run("""
+        int main() {
+            int a[2];
+            int b[2];
+            a[2] = 77;           // silently lands in another slot
+            return 0;
+        }""", self.CFG)
+        assert result.exit_code == 0
+
+    def test_legal_heap_use_unaffected(self):
+        assert run("""
+        int main() {
+            int *p = (int*)malloc(3 * sizeof(int));
+            p[0] = 1; p[1] = 2; p[2] = 3;
+            return p[0] + p[1] + p[2];
+        }""", self.CFG).exit_code == 6

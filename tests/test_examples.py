@@ -1,0 +1,57 @@
+"""Integration: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "legacy_heap_protection.py",
+    "subobject_overflow.py",
+    "attack_demo.py",
+    "temporal_safety.py",
+]
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["BoundsError", "bounds checks performed"],
+    "legacy_heap_protection.py": ["caught", "ran silently"],
+    "subobject_overflow.py": ["caught inside strcpy",
+                              "red zone MISSED it"],
+    "attack_demo.py": ["PWNED", "trap in strcpy", "non-pointer"],
+    "temporal_safety.py": ["use-after-free", "double free"],
+}
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    for snippet in EXPECTED_SNIPPETS[name]:
+        assert snippet in proc.stdout, \
+            "%s missing %r in output" % (name, snippet)
+
+
+def test_olden_report_subset():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "olden_report.py"),
+         "treeadd"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert "Figure 5" in proc.stdout
+    assert "Figure 7" in proc.stdout
+    assert "treeadd" in proc.stdout
+
+
+def test_olden_report_rejects_unknown():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "olden_report.py"),
+         "nonesuch"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode != 0

@@ -1,0 +1,68 @@
+"""Olden workloads: each runs clean on the plain core AND under full
+HardBound with identical output (instrumentation must not change
+semantics), which is the paper's correctness requirement for its
+performance runs.
+"""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.minic import compile_and_run
+from repro.workloads import WORKLOADS
+from repro.workloads.registry import MST_UNTIGHTENED
+
+PLAIN = MachineConfig.plain(timing=False)
+HB = MachineConfig.hardbound(timing=False)
+
+_cache = {}
+
+
+def run_both(name, source):
+    """Run a workload on both cores (memoized); return both results."""
+    if name not in _cache:
+        _cache[name] = (compile_and_run(source, PLAIN),
+                        compile_and_run(source, HB))
+    return _cache[name]
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_workload_runs_and_is_instrumentation_invariant(name):
+    wl = WORKLOADS[name]
+    plain, hb = run_both(name, wl.source)
+    assert plain.exit_code == 0
+    assert hb.exit_code == 0
+    assert plain.output == hb.output, \
+        "HardBound instrumentation changed %s's semantics" % name
+    assert plain.output.strip(), "workload %s produced no checksum" % name
+    if wl.expected_output is not None:
+        assert plain.output == wl.expected_output
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_workload_is_pointer_intensive(name):
+    """Sanity: the HardBound run actually performs bounds checks."""
+    _plain, hb = run_both(name, WORKLOADS[name].source)
+    checks = hb.hb_stats.checks
+    assert checks > 100, "%s: only %d checks" % (name, checks)
+    assert hb.hb_stats.setbound_uops > 0
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_workload_fits_simulation_budget(name):
+    """Keep the suite fast: each benchmark under ~2M instructions."""
+    plain, _hb = run_both(name, WORKLOADS[name].source)
+    assert plain.instructions < 2_000_000
+
+
+def test_mst_untightened_variant_matches_output():
+    tight_plain, _ = run_both("mst", WORKLOADS["mst"].source)
+    loose = compile_and_run(MST_UNTIGHTENED.source, HB)
+    assert loose.output == tight_plain.output
+
+
+def test_mst_tightening_reduces_incompressible_traffic():
+    """Section 5.3: tightening makes bucket pointers compressible."""
+    _, tight = run_both("mst", WORKLOADS["mst"].source)
+    loose = compile_and_run(MST_UNTIGHTENED.source, HB)
+    assert tight.hb_stats.compression_ratio() >= \
+        loose.hb_stats.compression_ratio()

@@ -1,0 +1,43 @@
+"""Workload registry metadata."""
+
+from repro.workloads import WORKLOADS, get_workload, workload_names
+from repro.workloads.registry import MST_UNTIGHTENED
+
+import pytest
+
+
+def test_nine_benchmarks_in_figure_order():
+    assert workload_names() == [
+        "bh", "bisort", "em3d", "health", "mst", "perimeter",
+        "power", "treeadd", "tsp"]
+
+
+def test_every_workload_has_source_and_description():
+    for name, wl in WORKLOADS.items():
+        assert wl.name == name
+        assert "int main()" in wl.source
+        assert len(wl.description) > 10
+
+
+def test_get_workload():
+    assert get_workload("mst") is WORKLOADS["mst"]
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("specint")
+
+
+def test_mst_variants_differ_only_in_bucket_pointers():
+    tight = WORKLOADS["mst"].source
+    loose = MST_UNTIGHTENED.source
+    assert tight != loose
+    assert "__setbound" in tight
+    assert "__setbound" not in loose
+
+
+def test_treeadd_expected_output_matches_formula():
+    wl = WORKLOADS["treeadd"]
+    assert wl.expected_output is not None
+    assert wl.expected_output.strip().isdigit()
+
+
+def test_workload_repr():
+    assert repr(WORKLOADS["bh"]) == "<Workload bh>"
