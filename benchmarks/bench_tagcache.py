@@ -26,8 +26,10 @@ def test_tag_cache_sweep(benchmark):
             cycles_by_size = {}
             for size in SIZES:
                 params = CacheParams(tag_cache_size=size)
+                # retain_cpu: this sweep inspects the tag cache itself
                 run = run_workload(
-                    name, MachineConfig.hardbound(encoding="extern4"),
+                    name, MachineConfig.hardbound(encoding="extern4",
+                                                  retain_cpu=True),
                     cache_params=params)
                 cycles_by_size[size] = run.cycles
                 rows.append([name, "%dB" % size, "%d" % run.cycles,

@@ -1,0 +1,311 @@
+"""Sharded sweep harness: matrix runs across worker processes.
+
+:func:`repro.harness.runner.run_benchmark_matrix` walks the workload
+× encoding × baseline matrix serially — every figure regeneration
+pays for the whole grid even when only one cell changed.  This module
+shards the same matrix at *cell* granularity (one workload under one
+configuration is one job) across a pool of worker processes, and
+fronts the pool with an on-disk result cache keyed by content hash:
+the workload's source digest plus the full cell configuration.  A
+warm rerun touches no worker at all.
+
+Every cell result is a pure-statistics snapshot
+(:class:`~repro.machine.cpu.RunResult` without its CPU, or an
+:class:`ObjTableSummary`), so results pickle cheaply across process
+and cache boundaries and a long sweep holds no machine state.
+
+Also usable as a CLI::
+
+    PYTHONPATH=src python -m repro.harness.parallel --workers 4 --figure 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import pickle
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines.fatptr import ccured_sim_config
+from repro.baselines.objtable import ObjectTableModel
+from repro.harness.runner import (
+    BenchmarkRun,
+    ENCODINGS,
+    run_workload,
+    source_digest,
+)
+from repro.machine.config import (
+    ENGINE_DECODED,
+    ENGINES,
+    MachineConfig,
+    SafetyMode,
+)
+from repro.workloads.registry import WORKLOADS
+
+#: bump when cell payloads or simulator semantics change incompatibly
+CACHE_SCHEMA = 1
+
+#: cell kinds beyond the per-encoding HardBound runs
+KIND_BASE = "base"
+KIND_CCURED = "ccured"
+KIND_OBJTABLE = "objtable"
+
+
+class ObjTableSummary:
+    """Picklable statistics snapshot of an :class:`ObjectTableModel`.
+
+    Carries exactly what the figure pipeline consumes (``extra_uops``
+    and the event counters) without the splay tree itself.
+    """
+
+    __slots__ = ("extra_uops", "arith_events", "alloc_events",
+                 "mem_events", "elide_fraction")
+
+    def __init__(self, model: ObjectTableModel):
+        self.extra_uops = model.extra_uops
+        self.arith_events = model.arith_events
+        self.alloc_events = model.alloc_events
+        self.mem_events = model.mem_events
+        self.elide_fraction = model.elide_fraction
+
+    def overhead_vs(self, base_uops: int) -> float:
+        if not base_uops:
+            return 1.0
+        return (base_uops + self.extra_uops) / base_uops
+
+
+class ResultCache:
+    """Content-hash keyed on-disk pickle cache for cell results."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(path, exist_ok=True)
+
+    @staticmethod
+    def key_of(descr: dict) -> str:
+        """Deterministic key for a JSON-serializable cell descriptor."""
+        blob = json.dumps(descr, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, key + ".pkl")
+
+    def get(self, key: str):
+        try:
+            with open(self._file(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        tmp = self._file(key) + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self._file(key))
+
+
+def _cell_config(kind: str, timing: bool, engine: str) -> MachineConfig:
+    if kind == KIND_BASE:
+        return MachineConfig.plain(timing=timing, engine=engine)
+    if kind == KIND_CCURED:
+        config = ccured_sim_config(timing)
+        config.engine = engine
+        return config
+    if kind == KIND_OBJTABLE:
+        # the object-table model observes a functional HardBound run
+        return MachineConfig.hardbound(timing=False, engine=engine)
+    return MachineConfig.hardbound(encoding=kind, timing=timing,
+                                   engine=engine)
+
+
+def cell_descriptor(workload: str, kind: str, timing: bool,
+                    engine: str) -> dict:
+    """JSON-serializable identity of one matrix cell (the cache key)."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "source": source_digest(WORKLOADS[workload].source),
+        "workload": workload,
+        "kind": kind,
+        # objtable cells always run functionally (see _cell_config):
+        # key on what actually runs so both sweeps share the entry
+        "timing": False if kind == KIND_OBJTABLE else timing,
+        "engine": engine,
+    }
+
+
+def run_cell(job: Tuple[str, str, bool, str]):
+    """Worker entry point: run one (workload, kind) matrix cell."""
+    workload, kind, timing, engine = job
+    config = _cell_config(kind, timing, engine)
+    if kind == KIND_OBJTABLE:
+        model = ObjectTableModel()
+        run_workload(workload, config, observer=model)
+        return ObjTableSummary(model)
+    return run_workload(workload, config)
+
+
+def run_benchmark_matrix_parallel(
+        workloads: Optional[Iterable[str]] = None,
+        encodings: Iterable[str] = ENCODINGS,
+        with_baselines: bool = True,
+        timing: bool = True,
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        engine: str = ENGINE_DECODED) -> Dict[str, BenchmarkRun]:
+    """Sharded, cached equivalent of
+    :func:`repro.harness.runner.run_benchmark_matrix`.
+
+    Cells already present in ``cache`` are served from disk; the rest
+    are distributed over ``workers`` processes.  Returns the same
+    ``{workload: BenchmarkRun}`` shape as the serial harness, with
+    ``bench.objtable`` holding an :class:`ObjTableSummary` instead of
+    the live model.
+    """
+    names = list(workloads) if workloads is not None else list(WORKLOADS)
+    kinds: List[str] = [KIND_BASE] + list(encodings)
+    if with_baselines:
+        kinds += [KIND_CCURED, KIND_OBJTABLE]
+
+    jobs = [(name, kind, timing, engine)
+            for name in names for kind in kinds]
+    results: Dict[Tuple[str, str], object] = {}
+    pending: List[Tuple[str, str, bool, str]] = []
+    pending_keys: List[Optional[str]] = []
+    for job in jobs:
+        key = None
+        if cache is not None:
+            key = ResultCache.key_of(cell_descriptor(*job))
+            hit = cache.get(key)
+            if hit is not None:
+                results[job[:2]] = hit
+                continue
+        pending.append(job)
+        pending_keys.append(key)
+
+    if pending:
+        if workers > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers) as pool:
+                for job, result in zip(pending,
+                                       pool.map(run_cell, pending)):
+                    results[job[:2]] = result
+        else:
+            for job in pending:
+                results[job[:2]] = run_cell(job)
+        if cache is not None:
+            for job, key in zip(pending, pending_keys):
+                cache.put(key, results[job[:2]])
+
+    matrix: Dict[str, BenchmarkRun] = {}
+    for name in names:
+        bench = BenchmarkRun(WORKLOADS[name])
+        bench.base = results[(name, KIND_BASE)]
+        for enc in encodings:
+            bench.encodings[enc] = results[(name, enc)]
+        if with_baselines:
+            bench.ccured = results[(name, KIND_CCURED)]
+            bench.objtable = results[(name, KIND_OBJTABLE)]
+        matrix[name] = bench
+    return matrix
+
+
+# -- sharded sensitivity sweeps ---------------------------------------------
+
+def _ccured_fraction_cell(
+        job: Tuple[str, Optional[float]]) -> Tuple[str, Optional[float],
+                                                   int]:
+    """Worker: cycles of one workload at one CCured SAFE fraction.
+
+    A ``None`` fraction is the plain-core baseline cell.
+    """
+    name, fraction = job
+    if fraction is None:
+        config = MachineConfig.plain()
+    else:
+        from repro.harness.sweeps import _engine_factory
+        config = MachineConfig(mode=SafetyMode.FULL,
+                               encoding="uncompressed",
+                               engine_factory=_engine_factory(fraction))
+    return name, fraction, run_workload(name, config).cycles
+
+
+def sweep_ccured_safe_fraction_parallel(
+        workloads: Iterable[str],
+        fractions: Iterable[float],
+        workers: int = 2) -> Dict[float, float]:
+    """Sharded version of
+    :func:`repro.harness.sweeps.sweep_ccured_safe_fraction`.
+
+    The plain-core baselines are sharded alongside the fraction grid
+    (they are just cells with ``fraction=None``), so no serial
+    baseline phase precedes the pool.
+    """
+    names = list(workloads)
+    fracs = list(fractions)
+    jobs: List[Tuple[str, Optional[float]]] = \
+        [(name, None) for name in names]
+    jobs += [(name, fraction) for fraction in fracs for name in names]
+    cycles: Dict[Tuple[str, Optional[float]], int] = {}
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers) as pool:
+        for name, fraction, cyc in pool.map(_ccured_fraction_cell, jobs):
+            cycles[(name, fraction)] = cyc
+    return {fraction: sum(cycles[(name, fraction)]
+                          / cycles[(name, None)]
+                          for name in names) / len(names)
+            for fraction in fracs}
+
+
+# -- CLI --------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded figure-matrix runner with on-disk caching")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="workload subset (default: all nine)")
+    parser.add_argument("--figure", type=int, choices=(5, 6, 7),
+                        default=5, help="figure table to print")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="on-disk result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk cache")
+    parser.add_argument("--engine", default=ENGINE_DECODED,
+                        help="execution engine (decoded|legacy)")
+    args = parser.parse_args(argv)
+
+    if args.engine not in ENGINES:
+        parser.error("unknown engine %r (have: %s)"
+                     % (args.engine, ", ".join(ENGINES)))
+    for name in args.workloads or ():
+        if name not in WORKLOADS:
+            parser.error("unknown workload %r (have: %s)"
+                         % (name, ", ".join(WORKLOADS)))
+
+    from repro.harness.figures import (
+        figure5_table, figure6_table, figure7_table, format_table)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    matrix = run_benchmark_matrix_parallel(
+        workloads=args.workloads, workers=args.workers, cache=cache,
+        engine=args.engine)
+    table_fn = {5: figure5_table, 6: figure6_table, 7: figure7_table}
+    headers, rows = table_fn[args.figure](matrix)
+    print(format_table(headers, rows, "Figure %d" % args.figure))
+    if cache is not None:
+        print("\ncache: %d hit(s), %d miss(es) at %s"
+              % (cache.hits, cache.misses, cache.path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

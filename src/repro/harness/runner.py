@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Optional
 
 from repro.baselines.fatptr import SETBOUND_EXTRA_UOPS, ccured_sim_config
@@ -20,9 +21,20 @@ ENCODINGS = ("extern4", "intern4", "intern11")
 _program_cache: Dict[tuple, Program] = {}
 
 
+def source_digest(source: str) -> str:
+    """Stable content hash of a workload source (also used by the
+    parallel harness's on-disk cache keys)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
 def compile_cached(source: str, mode: InstrumentMode) -> Program:
-    """Compile with memoization (programs are reusable across runs)."""
-    key = (hash(source), mode)
+    """Compile with memoization (programs are reusable across runs).
+
+    Keyed on a sha256 content digest plus the instrumentation mode:
+    ``hash(source)`` would be unstable across interpreter runs under
+    hash randomization and collision-prone within one.
+    """
+    key = (source_digest(source), mode)
     if key not in _program_cache:
         _program_cache[key] = compile_program(source, mode)
     return _program_cache[key]

@@ -10,7 +10,7 @@ plausible range, not just at the calibrated point.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.baselines.fatptr import SoftBoundEngine
 from repro.baselines.objtable import ObjectTableModel
@@ -31,8 +31,18 @@ def _engine_factory(safe_fraction: float):
 
 def sweep_ccured_safe_fraction(
         workloads: Iterable[str],
-        fractions: Iterable[float]) -> Dict[float, float]:
-    """Average CCured-sim runtime overhead per SAFE fraction."""
+        fractions: Iterable[float],
+        workers: Optional[int] = None) -> Dict[float, float]:
+    """Average CCured-sim runtime overhead per SAFE fraction.
+
+    With ``workers``, the (workload × fraction) grid is sharded
+    across processes by the parallel harness.
+    """
+    if workers is not None and workers > 1:
+        from repro.harness.parallel import \
+            sweep_ccured_safe_fraction_parallel
+        return sweep_ccured_safe_fraction_parallel(
+            workloads, fractions, workers=workers)
     out: Dict[float, float] = {}
     names = list(workloads)
     bases = {name: run_workload(name, MachineConfig.plain())

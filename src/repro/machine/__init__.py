@@ -14,7 +14,13 @@ from repro.machine.errors import (
     InstructionLimitExceeded,
     HaltSignal,
 )
-from repro.machine.config import MachineConfig, SafetyMode
+from repro.machine.config import (
+    ENGINE_DECODED,
+    ENGINE_LEGACY,
+    ENGINES,
+    MachineConfig,
+    SafetyMode,
+)
 from repro.machine.memory import Memory
 from repro.machine.registers import RegisterFile
 from repro.machine.cpu import CPU, RunResult
@@ -32,6 +38,9 @@ __all__ = [
     "AbortError",
     "InstructionLimitExceeded",
     "HaltSignal",
+    "ENGINE_DECODED",
+    "ENGINE_LEGACY",
+    "ENGINES",
     "MachineConfig",
     "SafetyMode",
     "Memory",

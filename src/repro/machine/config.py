@@ -7,6 +7,11 @@ import enum
 
 from repro.layout import STACK_SIZE
 
+#: Execution-engine names accepted by :attr:`MachineConfig.engine`.
+ENGINE_DECODED = "decoded"
+ENGINE_LEGACY = "legacy"
+ENGINES = (ENGINE_DECODED, ENGINE_LEGACY)
+
 
 class SafetyMode(enum.Enum):
     """How much HardBound checking the core performs.
@@ -50,6 +55,20 @@ class MachineConfig:
     ``timing``
         Whether to run the cache/TLB timing model.  Functional tests
         turn it off for speed.
+    ``engine``
+        Execution engine: ``"decoded"`` (default) pre-decodes the
+        program into per-instruction closures with operand forms
+        resolved once; ``"legacy"`` is the original per-instruction
+        dispatch loop, retained for differential testing.  Both
+        produce bit-identical :class:`~repro.machine.cpu.RunResult`
+        statistics.
+    ``retain_cpu``
+        Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
+        on the returned :class:`~repro.machine.cpu.RunResult` so its
+        memory image and caches stay inspectable after the run.  Off
+        by default so long matrix sweeps don't pin whole machine
+        states; without it ``RunResult.cpu`` only works while the CPU
+        is otherwise alive.
     """
 
     mode: SafetyMode = SafetyMode.OFF
@@ -57,6 +76,8 @@ class MachineConfig:
     check_uop: bool = False
     check_access_extent: bool = False
     timing: bool = True
+    engine: str = ENGINE_DECODED
+    retain_cpu: bool = False
     stack_size: int = STACK_SIZE
     max_instructions: int = 200_000_000
     capture_output: bool = True
@@ -69,6 +90,11 @@ class MachineConfig:
     #: the software-checking baselines substitute a cost-model engine
     #: here (see repro.baselines.fatptr).
     engine_factory: object = None
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError("unknown engine %r (have: %s)"
+                             % (self.engine, ", ".join(ENGINES)))
 
     @classmethod
     def plain(cls, **kw) -> "MachineConfig":

@@ -17,6 +17,7 @@ Total runtime = µops executed + memory-system stall cycles.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, List, Optional
 
 from repro.caches.hierarchy import CacheParams, MemorySystem
@@ -30,7 +31,7 @@ from repro.layout import (
     STACK_TOP,
     to_signed,
 )
-from repro.machine.config import MachineConfig, SafetyMode
+from repro.machine.config import ENGINE_DECODED, MachineConfig, SafetyMode
 from repro.machine.errors import (
     AbortError,
     DivideByZeroError,
@@ -46,7 +47,14 @@ from repro.metadata.encodings import get_encoding
 
 
 class RunResult:
-    """Outcome of a completed (halted) run."""
+    """Outcome of a completed (halted) run.
+
+    Only statistics snapshots are kept: a long matrix sweep holds many
+    results, and pinning every CPU's memory image and caches through
+    them bloats the sweep.  :attr:`cpu` therefore resolves through a
+    weak reference by default; runs that want to inspect machine state
+    afterwards opt in with ``MachineConfig(retain_cpu=True)``.
+    """
 
     def __init__(self, cpu: "CPU", exit_code: int):
         self.exit_code = exit_code
@@ -59,7 +67,34 @@ class RunResult:
         self.hb_stats = cpu.hb.stats if cpu.hb else None
         self.mem_stats = cpu.memsys.stats if cpu.memsys else None
         self.setbound_uops = cpu.setbound_count
-        self.cpu = cpu
+        self._cpu_strong = cpu if cpu.config.retain_cpu else None
+        self._cpu_weak = weakref.ref(cpu)
+
+    @property
+    def cpu(self) -> "CPU":
+        """The CPU that produced this result, if still alive.
+
+        Raises :class:`ReferenceError` once the CPU has been
+        collected; configure the run with ``retain_cpu=True`` to keep
+        it reachable through the result.
+        """
+        if self._cpu_strong is not None:
+            return self._cpu_strong
+        cpu = self._cpu_weak() if self._cpu_weak is not None else None
+        if cpu is None:
+            raise ReferenceError(
+                "RunResult no longer references its CPU; run with "
+                "MachineConfig(retain_cpu=True) to keep machine state "
+                "inspectable after the run")
+        return cpu
+
+    def __getstate__(self):
+        # weakrefs cannot be pickled; results travel between harness
+        # worker processes as pure statistics snapshots.
+        state = dict(self.__dict__)
+        state["_cpu_strong"] = None
+        state["_cpu_weak"] = None
+        return state
 
     def __repr__(self):
         return ("RunResult(exit=%d, instrs=%d, uops=%d, cycles=%d)"
@@ -142,6 +177,9 @@ class CPU:
         #: on_setbound(value, size), on_mem(ea, size, write),
         #: on_pointer_arith()
         self.observer = None
+        #: set by instrumentation (e.g. Tracer) that wraps the legacy
+        #: dispatch table and therefore needs the legacy run loop
+        self.force_legacy = False
         self._init_stack()
         self._dispatch = self._build_dispatch()
 
@@ -166,7 +204,20 @@ class CPU:
     # -- run loop -----------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute until ``halt``; traps raise annotated exceptions."""
+        """Execute until ``halt``; traps raise annotated exceptions.
+
+        Dispatches to the engine selected by ``config.engine``: the
+        pre-decoded closure-threaded engine (default) or the legacy
+        per-instruction dispatch loop.  Both are bit-identical in
+        results and trap behaviour.
+        """
+        if self.config.engine == ENGINE_DECODED and not self.force_legacy:
+            from repro.machine.decode import execute_decoded
+            return execute_decoded(self)
+        return self._run_legacy()
+
+    def _run_legacy(self) -> RunResult:
+        """The original fetch/dispatch interpreter loop."""
         instrs = self.program.instrs
         dispatch = self._dispatch
         limit = self.config.max_instructions

@@ -41,6 +41,9 @@ class Tracer:
 
     def _wrap_dispatch(self) -> None:
         cpu = self.cpu
+        # wrapping the dispatch table only observes the legacy loop;
+        # the decoded engine never consults it
+        cpu.force_legacy = True
         original = dict(cpu._dispatch)
 
         def make_wrapper(op, handler):

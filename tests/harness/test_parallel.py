@@ -1,0 +1,93 @@
+"""Sharded matrix harness: worker equivalence and on-disk caching."""
+
+import pickle
+
+from repro.harness.parallel import (
+    ObjTableSummary,
+    ResultCache,
+    cell_descriptor,
+    run_benchmark_matrix_parallel,
+    run_cell,
+)
+from repro.harness.runner import run_benchmark_matrix
+from repro.harness.sweeps import sweep_ccured_safe_fraction
+
+WORKLOADS = ("treeadd", "power")
+ENCODINGS = ("intern11",)
+#: cells per workload: base + intern11 + ccured + objtable
+CELLS = len(WORKLOADS) * 4
+
+
+def assert_matrices_equal(parallel, serial):
+    assert set(parallel) == set(serial)
+    for name in serial:
+        p, s = parallel[name], serial[name]
+        assert p.base.cycles == s.base.cycles
+        assert p.base.uops == s.base.uops
+        for enc in ENCODINGS:
+            assert p.encodings[enc].cycles == s.encodings[enc].cycles
+            assert (p.encodings[enc].hb_stats.as_dict()
+                    == s.encodings[enc].hb_stats.as_dict())
+            assert abs(p.overhead(enc) - s.overhead(enc)) < 1e-12
+        assert p.ccured.cycles == s.ccured.cycles
+        assert p.objtable.extra_uops == s.objtable.extra_uops
+        assert abs(p.ccured_runtime_overhead()
+                   - s.ccured_runtime_overhead()) < 1e-12
+        assert abs(p.objtable_runtime_overhead()
+                   - s.objtable_runtime_overhead()) < 1e-12
+
+
+class TestShardedMatrix:
+    def test_matches_serial_and_warm_rerun_hits_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        parallel = run_benchmark_matrix_parallel(
+            workloads=WORKLOADS, encodings=ENCODINGS, workers=2,
+            cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == CELLS
+
+        serial = run_benchmark_matrix(workloads=WORKLOADS,
+                                      encodings=ENCODINGS)
+        assert_matrices_equal(parallel, serial)
+
+        # warm rerun: every cell served from disk, no worker touched
+        warm_cache = ResultCache(str(tmp_path / "cache"))
+        warm = run_benchmark_matrix_parallel(
+            workloads=WORKLOADS, encodings=ENCODINGS, workers=2,
+            cache=warm_cache)
+        assert warm_cache.hits == CELLS
+        assert warm_cache.misses == 0
+        assert_matrices_equal(warm, serial)
+
+    def test_source_change_invalidates_cell_key(self):
+        a = ResultCache.key_of(
+            cell_descriptor("treeadd", "intern11", True, "decoded"))
+        b = ResultCache.key_of(
+            cell_descriptor("treeadd", "intern11", True, "legacy"))
+        c = ResultCache.key_of(
+            cell_descriptor("treeadd", "intern11", False, "decoded"))
+        d = ResultCache.key_of(
+            cell_descriptor("power", "intern11", True, "decoded"))
+        assert len({a, b, c, d}) == 4
+
+    def test_cell_results_are_picklable_snapshots(self):
+        result = run_cell(("treeadd", "intern11", False, "decoded"))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.cycles == result.cycles
+        assert clone.hb_stats.as_dict() == result.hb_stats.as_dict()
+        summary = run_cell(("treeadd", "objtable", False, "decoded"))
+        assert isinstance(summary, ObjTableSummary)
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.extra_uops == summary.extra_uops
+
+
+class TestShardedSweeps:
+    def test_ccured_sweep_matches_serial(self):
+        names = ["treeadd"]
+        fractions = [0.5, 0.9]
+        serial = sweep_ccured_safe_fraction(names, fractions)
+        parallel = sweep_ccured_safe_fraction(names, fractions,
+                                              workers=2)
+        assert set(serial) == set(parallel)
+        for fraction in serial:
+            assert abs(serial[fraction] - parallel[fraction]) < 1e-12

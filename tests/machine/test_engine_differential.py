@@ -1,0 +1,218 @@
+"""Differential testing: decoded closure engine vs. legacy dispatch.
+
+The decoded engine must be *bit-identical* to the legacy interpreter:
+same exit codes, program output, instruction/µop/cycle counts, same
+HardBound and memory-system statistics, and the same traps (type,
+message, faulting pc) on every violation.  These tests run real Olden
+workloads and the violation scenarios under both engines and compare
+everything observable.
+"""
+
+import pytest
+
+from repro.harness.runner import compile_cached
+from repro.machine import (
+    CPU,
+    BoundsError,
+    InstructionLimitExceeded,
+    MachineConfig,
+    MemoryFault,
+    NonPointerError,
+    Trap,
+)
+from repro.minic.driver import compile_program, mode_for_config
+from repro.workloads.registry import WORKLOADS
+
+#: three Olden workloads exercising trees, graphs and linked lists
+DIFF_WORKLOADS = ("treeadd", "em3d", "health")
+
+ENGINES = ("legacy", "decoded")
+
+
+def run_both(program, **config_kw):
+    """Run one program under both engines; return both results."""
+    results = {}
+    for engine in ENGINES:
+        cpu = CPU(program, MachineConfig(engine=engine, **config_kw))
+        results[engine] = cpu.run()
+    return results["legacy"], results["decoded"]
+
+
+def assert_identical(legacy, decoded):
+    assert decoded.exit_code == legacy.exit_code
+    assert decoded.output == legacy.output
+    assert decoded.instructions == legacy.instructions
+    assert decoded.uops == legacy.uops
+    assert decoded.stall_cycles == legacy.stall_cycles
+    assert decoded.cycles == legacy.cycles
+    assert decoded.setbound_uops == legacy.setbound_uops
+    if legacy.hb_stats is None:
+        assert decoded.hb_stats is None
+    else:
+        assert decoded.hb_stats.as_dict() == legacy.hb_stats.as_dict()
+    if legacy.mem_stats is None:
+        assert decoded.mem_stats is None
+    else:
+        assert decoded.mem_stats.as_dict() == legacy.mem_stats.as_dict()
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", DIFF_WORKLOADS)
+    def test_hardbound_functional(self, name):
+        config = MachineConfig.hardbound(timing=False)
+        program = compile_cached(WORKLOADS[name].source,
+                                 mode_for_config(config))
+        legacy, decoded = run_both(
+            program, mode=config.mode, encoding=config.encoding,
+            timing=False)
+        assert_identical(legacy, decoded)
+
+    @pytest.mark.parametrize("name", DIFF_WORKLOADS)
+    def test_plain_functional(self, name):
+        config = MachineConfig.plain(timing=False)
+        program = compile_cached(WORKLOADS[name].source,
+                                 mode_for_config(config))
+        legacy, decoded = run_both(
+            program, mode=config.mode, timing=False)
+        assert_identical(legacy, decoded)
+
+    def test_hardbound_with_timing_model(self):
+        """Full stats equality including stalls, cache and page counts."""
+        config = MachineConfig.hardbound(encoding="intern11")
+        program = compile_cached(WORKLOADS["treeadd"].source,
+                                 mode_for_config(config))
+        legacy, decoded = run_both(
+            program, mode=config.mode, encoding="intern11", timing=True)
+        assert_identical(legacy, decoded)
+
+    @pytest.mark.parametrize("encoding", ("extern4", "intern4"))
+    def test_encodings_with_timing_model(self, encoding):
+        config = MachineConfig.hardbound(encoding=encoding)
+        program = compile_cached(WORKLOADS["em3d"].source,
+                                 mode_for_config(config))
+        legacy, decoded = run_both(
+            program, mode=config.mode, encoding=encoding, timing=True)
+        assert_identical(legacy, decoded)
+
+
+VIOLATIONS = {
+    "heap-overflow": """
+        int main() {
+            int *p = (int*)malloc(4 * sizeof(int));
+            p[4] = 1;
+            return 0;
+        }""",
+    "heap-read-overflow": """
+        int main() {
+            int *p = (int*)malloc(8);
+            return p[2];
+        }""",
+    "heap-underflow": """
+        int main() {
+            int *p = (int*)malloc(8);
+            p[-1] = 3;
+            return 0;
+        }""",
+}
+
+
+class TestTrapEquivalence:
+    @pytest.mark.parametrize("name", sorted(VIOLATIONS))
+    def test_violations_trap_identically(self, name):
+        config = MachineConfig.hardbound(timing=False)
+        program = compile_program(VIOLATIONS[name],
+                                  mode_for_config(config))
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.hardbound(
+                timing=False, engine=engine))
+            with pytest.raises(BoundsError) as exc:
+                cpu.run()
+            traps[engine] = (type(exc.value), str(exc.value),
+                             exc.value.pc, cpu.icount, cpu.pc)
+        assert traps["decoded"] == traps["legacy"]
+
+    def test_nonpointer_trap_identical(self):
+        from repro.isa import assemble
+        program = assemble("""
+        main:
+            mov r1, 0x2000000
+            load r2, [r1]
+            halt 0
+        """)
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.hardbound(
+                timing=False, engine=engine))
+            with pytest.raises(NonPointerError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
+        assert traps["decoded"] == traps["legacy"]
+
+    def test_fetch_fault_identical(self):
+        """Falling off the end faults with the same pc annotation."""
+        from repro.isa import assemble
+        program = assemble("main:\n  mov r1, 1\n")
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine))
+            with pytest.raises(MemoryFault) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        assert traps["decoded"] == traps["legacy"]
+
+    def test_instruction_limit_identical(self):
+        from repro.isa import assemble
+        program = assemble("main:\n  jmp main\n")
+        states = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine, max_instructions=1000))
+            with pytest.raises(InstructionLimitExceeded):
+                cpu.run()
+            states[engine] = (cpu.icount, cpu.pc)
+        assert states["decoded"] == states["legacy"]
+
+    def test_divide_by_zero_identical(self):
+        from repro.isa import assemble
+        from repro.machine import DivideByZeroError
+        program = assemble("""
+        main:
+            mov r1, 10
+            mov r2, 0
+            div r3, r1, r2
+            halt 0
+        """)
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine))
+            with pytest.raises(DivideByZeroError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
+        assert traps["decoded"] == traps["legacy"]
+
+
+class TestTemporalEquivalence:
+    def test_use_after_free_identical(self):
+        from repro.machine.errors import UseAfterFreeError
+        from repro.minic.driver import compile_program
+        source = """
+        int main() {
+            int *p = (int*)malloc(4 * sizeof(int));
+            p[1] = 7;
+            free((void*)p);
+            return p[1];             // dangling read
+        }"""
+        config = MachineConfig.hardbound(timing=False, temporal=True)
+        program = compile_program(source, mode_for_config(config))
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.hardbound(
+                timing=False, temporal=True, engine=engine))
+            with pytest.raises(UseAfterFreeError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
+        assert traps["decoded"] == traps["legacy"]

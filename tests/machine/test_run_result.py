@@ -55,3 +55,48 @@ def test_repr():
               MachineConfig.plain(timing=False))
     result = cpu.run()
     assert "exit=5" in repr(result)
+
+
+def test_cpu_reference_is_weak_by_default():
+    """Results from long sweeps must not pin whole machine states."""
+    import gc
+    import pytest
+
+    def run_one():
+        return CPU(assemble("main:\n  halt 0\n"),
+                   MachineConfig.plain(timing=False)).run()
+
+    result = run_one()
+    gc.collect()
+    with pytest.raises(ReferenceError):
+        result.cpu
+
+    # while the CPU is alive the weak reference resolves normally
+    cpu = CPU(assemble("main:\n  halt 0\n"),
+              MachineConfig.plain(timing=False))
+    assert cpu.run().cpu is cpu
+
+
+def test_retain_cpu_escape_hatch():
+    """retain_cpu=True keeps machine state inspectable post-run."""
+    import gc
+
+    def run_one():
+        return CPU(assemble("main:\n  mov r1, 7\n  halt 0\n"),
+                   MachineConfig.plain(timing=False,
+                                       retain_cpu=True)).run()
+
+    result = run_one()
+    gc.collect()
+    assert result.cpu.regs.value[1] == 7
+
+
+def test_result_pickles_without_cpu():
+    import pickle
+
+    cpu = CPU(assemble("main:\n  halt 3\n"),
+              MachineConfig.plain(timing=False, retain_cpu=True))
+    result = cpu.run()
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.exit_code == 3
+    assert clone.uops == result.uops
