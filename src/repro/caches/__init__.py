@@ -3,6 +3,7 @@
 from repro.caches.cache import Cache
 from repro.caches.stats import AccessStats, KindStats
 from repro.caches.hierarchy import MemorySystem, CacheParams
+from repro.caches.fast import FastMemorySystem
 
 __all__ = ["Cache", "AccessStats", "KindStats", "MemorySystem",
-           "CacheParams"]
+           "CacheParams", "FastMemorySystem"]

@@ -1,0 +1,561 @@
+"""Fast memory-system timing model for the block-fusion engine.
+
+:class:`~repro.caches.hierarchy.MemorySystem` spends most of every
+access in Python plumbing: a dict lookup into the per-kind stats, a
+``touch_page`` method call, and two or three nested
+:meth:`~repro.caches.cache.Cache.access` calls, each with its own
+attribute loads and ``OrderedDict`` bookkeeping.  With timing enabled
+that call chain dominates the whole simulation (ROADMAP "Interpreter
+follow-ons").
+
+:class:`FastMemorySystem` charges the *same* model — TLB probe, L1 (or
+tag-cache) probe, L2 on miss, two block touches on a spanning access —
+from flat closures with every shift, mask, penalty and set table bound
+as a local:
+
+* set-index masks and block shifts are precomputed per structure;
+* the TLB/L1/L2 probes are inlined LRU operations on plain dicts
+  (insertion order is the recency order, exactly like the
+  ``OrderedDict`` sets of :class:`~repro.caches.cache.Cache`);
+* a most-recently-used short circuit skips the dict work entirely
+  when an access touches the same block (or page) as the previous
+  probe of that structure — then the block is guaranteed present
+  *and* already at the recency tail, so hit/miss/LRU state cannot
+  change and only the access counters advance;
+* per-kind statistics accumulate into flat counter lists and are
+  materialized into an :class:`~repro.caches.stats.AccessStats` only
+  when :attr:`stats` is read;
+* :meth:`make_word_probe` / :meth:`make_shadow_probe` /
+  :meth:`make_data_probe` hand the execution engines single-call
+  probes for their hottest access shapes (a word access fused with
+  its tag-byte probe, the shadow double word, a plain word).
+
+Counters are **bit-identical** to :class:`MemorySystem`: the same
+accesses, TLB/L1/L2 misses, stall cycles and distinct pages per kind
+for any access stream (``tests/caches/test_fast.py`` runs both models
+on random streams; the engine differential suite runs them on whole
+workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.caches.cache import _ilog2
+from repro.caches.hierarchy import CacheParams
+from repro.caches.stats import AccessStats, FIG_PAGE_SHIFT, KINDS
+from repro.layout import PAGE_SIZE, SHADOW_SPACE_BASE
+
+#: indices into the per-kind counter list
+_ACC, _TLB_M, _L1_M, _L2_M, _STALL, _SPANS = range(6)
+
+#: indices into a per-kind record
+_R_CTR, _R_PAGES, _R_TLB, _R_TLB_MRU, _R_SETS, _R_MASK, _R_ASSOC, \
+    _R_MRU = range(8)
+
+
+class _CacheView:
+    """Read-only stand-in for a :class:`~repro.caches.cache.Cache`.
+
+    Derives probe counts from the per-kind counters so diagnostics
+    (e.g. ``memsys.tag_cache.miss_rate()``) work against the fast
+    model too.  A structure's probes are the accesses of every kind
+    routed to it plus one extra probe per block-spanning access; its
+    misses are those kinds' per-level miss counters.
+    """
+
+    __slots__ = ("name", "accesses", "misses")
+
+    def __init__(self, name: str, accesses: int, misses: int):
+        self.name = name
+        self.accesses = accesses
+        self.misses = misses
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self):
+        return ("_CacheView(%s: %d acc, %.1f%% miss)"
+                % (self.name, self.accesses, 100.0 * self.miss_rate()))
+
+
+class FastMemorySystem:
+    """Drop-in fast replacement for :class:`MemorySystem`.
+
+    Same constructor, same ``access(addr, size, write, kind)``
+    signature and return value (the stall cycles charged), same
+    statistics; only the implementation differs.  The model — like
+    :class:`MemorySystem` — is write-agnostic: the ``write`` flag is
+    accepted for interface parity and ignored.  Used by the
+    ``blocks`` execution engine.
+    """
+
+    def __init__(self, params: CacheParams = None):
+        self.params = params or CacheParams()
+        p = self.params
+        # LRU sets as plain dicts: membership + del/reinsert is the
+        # move-to-end, popping the first key is the LRU eviction.
+        self._l1_sets = self._make_sets(p.l1_size, p.l1_assoc, p.block)
+        self._l2_sets = self._make_sets(p.l2_size, p.l2_assoc, p.block)
+        self._tag_sets = self._make_sets(p.tag_cache_size,
+                                         p.tag_cache_assoc, p.block)
+        tlb_size = p.tlb_entries * PAGE_SIZE
+        self._dtlb_sets = self._make_sets(tlb_size, p.tlb_assoc,
+                                          PAGE_SIZE)
+        self._tag_tlb_sets = self._make_sets(tlb_size, p.tlb_assoc,
+                                             PAGE_SIZE)
+        # one MRU cell per structure, shared by every probe of that
+        # structure (the short-circuit invariant demands it)
+        l1_mru, tag_mru = [-1], [-1]
+        dtlb_mru, tag_tlb_mru = [-1], [-1]
+        # composite MRU cells: a probe may skip its whole structure
+        # walk when it repeats the previous probe's block granule AND
+        # no other probe touched the shared structures since; every
+        # other probe therefore invalidates these on its full path
+        self._wp_mru = [-1]
+        self._dp_mru = [-1]
+        # every cell whose skip path can elide a distinct-page add;
+        # reset_stats() must invalidate them so cleared page sets
+        # repopulate (probes register their private fig cells here)
+        self._reset_cells: List[list] = [self._wp_mru, self._dp_mru]
+        #: kind -> record, layout per the ``_R_*`` indices above
+        self._kinds: Dict[str, tuple] = {}
+        for kind in KINDS:
+            if kind == "tag":
+                rec = ([0] * 6, set(), self._tag_tlb_sets, tag_tlb_mru,
+                       self._tag_sets, len(self._tag_sets) - 1,
+                       p.tag_cache_assoc, tag_mru)
+            else:
+                rec = ([0] * 6, set(), self._dtlb_sets, dtlb_mru,
+                       self._l1_sets, len(self._l1_sets) - 1,
+                       p.l1_assoc, l1_mru)
+            self._kinds[kind] = rec
+        self.access = self._build_access()
+
+    @staticmethod
+    def _make_sets(size: int, assoc: int, block: int) -> List[dict]:
+        if size % (assoc * block):
+            raise ValueError("size must be a multiple of assoc*block")
+        num_sets = size // (assoc * block)
+        _ilog2(num_sets)  # validate power of two
+        return [{} for _ in range(num_sets)]
+
+    def _geometry(self):
+        """Shared constants bound into every probe closure."""
+        p = self.params
+        return (_ilog2(p.block), _ilog2(PAGE_SIZE),
+                len(self._dtlb_sets) - 1, p.tlb_assoc,
+                self._l2_sets, len(self._l2_sets) - 1, p.l2_assoc,
+                p.tlb_miss_penalty, p.l1_miss_penalty,
+                p.l2_miss_penalty, FIG_PAGE_SHIFT)
+
+    # -- hot paths ---------------------------------------------------------
+
+    def _build_access(self):
+        """Generic probe with all parameters bound as locals."""
+        kinds = self._kinds
+        (block_shift, page_shift, tlb_mask, tlb_assoc, l2_sets,
+         l2_mask, l2_assoc, tlb_pen, l1_pen, l2_pen,
+         fig_shift) = self._geometry()
+        wp_mru = self._wp_mru
+        dp_mru = self._dp_mru
+
+        def access(addr, size, write, kind):
+            (ctr, pages, tlb_sets, tlb_mru, csets, cmask, cassoc,
+             cmru) = kinds[kind]
+            wp_mru[0] = -1
+            dp_mru[0] = -1
+            ctr[0] += 1
+            pages.add(addr >> fig_shift)
+            page_no = addr >> page_shift
+            if page_no == tlb_mru[0]:
+                stall = 0
+            else:
+                s = tlb_sets[page_no & tlb_mask]
+                if page_no in s:
+                    del s[page_no]
+                    s[page_no] = 0
+                    stall = 0
+                else:
+                    ctr[1] += 1
+                    stall = tlb_pen
+                    if len(s) >= tlb_assoc:
+                        del s[next(iter(s))]
+                    s[page_no] = 0
+                tlb_mru[0] = page_no
+            bno = addr >> block_shift
+            last_bno = (addr + size - 1) >> block_shift
+            if bno == last_bno == cmru[0]:
+                ctr[4] += stall
+                return stall
+            while True:
+                s = csets[bno & cmask]
+                if bno in s:
+                    del s[bno]
+                    s[bno] = 0
+                else:
+                    ctr[2] += 1
+                    stall += l1_pen
+                    s2 = l2_sets[bno & l2_mask]
+                    if bno in s2:
+                        del s2[bno]
+                        s2[bno] = 0
+                    else:
+                        ctr[3] += 1
+                        stall += l2_pen
+                        if len(s2) >= l2_assoc:
+                            del s2[next(iter(s2))]
+                        s2[bno] = 0
+                    if len(s) >= cassoc:
+                        del s[next(iter(s))]
+                    s[bno] = 0
+                cmru[0] = bno
+                if bno == last_bno:
+                    break
+                ctr[5] += 1
+                bno = last_bno
+            ctr[4] += stall
+            return stall
+
+        return access
+
+    def make_word_probe(self, tag_base: int, tag_shift: int):
+        """Single-call probe for a word access plus its tag byte.
+
+        Charges a 4-byte ``"data"`` access at the given address
+        followed by a 1-byte ``"tag"`` access at ``tag_base + (addr
+        >> tag_shift)`` — the exact sequence every HardBound word
+        load/store performs.  A tag byte never spans blocks, so the
+        tag leg drops the span handling entirely.
+        """
+        (block_shift, page_shift, tlb_mask, tlb_assoc, l2_sets,
+         l2_mask, l2_assoc, tlb_pen, l1_pen, l2_pen,
+         fig_shift) = self._geometry()
+        (dctr, dpages, dtlb_sets, dtlb_mru, dsets, dmask, dassoc,
+         dmru) = self._kinds["data"]
+        (tctr, tpages, ttlb_sets, ttlb_mru, tsets, tmask, tassoc,
+         tmru) = self._kinds["tag"]
+        dpages_add = dpages.add
+        tpages_add = tpages.add
+        # distinct-page sets are idempotent, so a private
+        # last-page-added cell can elide repeat adds safely
+        dfig_mru = [-1]
+        tfig_mru = [-1]
+        self._reset_cells += [dfig_mru, tfig_mru]
+        # composite short circuit: same key as the previous probe of
+        # these structures means every level repeats an all-hit on a
+        # recency tail — only the access counters can change.  The
+        # key granule must pin the data block, the tag byte and both
+        # figure pages, hence the min-shift (and the off-switch for
+        # exotic geometries).
+        wp_mru = self._wp_mru
+        dp_mru = self._dp_mru
+        key_shift = min(tag_shift, block_shift)
+        composite = key_shift <= fig_shift and block_shift < page_shift
+
+        def word_probe(addr):
+            # the key granule pins only the access's first block, so
+            # the skip must also prove the word doesn't span out of
+            # it (conservative: same key granule for both ends)
+            key = addr >> key_shift
+            if key == wp_mru[0] and (addr + 3) >> key_shift == key:
+                dctr[0] += 1
+                tctr[0] += 1
+                return
+            # -- data leg (4 bytes) --
+            dctr[0] += 1
+            fp = addr >> fig_shift
+            if fp != dfig_mru[0]:
+                dpages_add(fp)
+                dfig_mru[0] = fp
+            page_no = addr >> page_shift
+            if page_no != dtlb_mru[0]:
+                s = dtlb_sets[page_no & tlb_mask]
+                if page_no in s:
+                    del s[page_no]
+                    s[page_no] = 0
+                else:
+                    dctr[1] += 1
+                    dctr[4] += tlb_pen
+                    if len(s) >= tlb_assoc:
+                        del s[next(iter(s))]
+                    s[page_no] = 0
+                dtlb_mru[0] = page_no
+            first_bno = addr >> block_shift
+            last_bno = (addr + 3) >> block_shift
+            if first_bno == last_bno == dmru[0]:
+                pass
+            else:
+                bno = first_bno
+                stall = 0
+                while True:
+                    s = dsets[bno & dmask]
+                    if bno in s:
+                        del s[bno]
+                        s[bno] = 0
+                    else:
+                        dctr[2] += 1
+                        stall += l1_pen
+                        s2 = l2_sets[bno & l2_mask]
+                        if bno in s2:
+                            del s2[bno]
+                            s2[bno] = 0
+                        else:
+                            dctr[3] += 1
+                            stall += l2_pen
+                            if len(s2) >= l2_assoc:
+                                del s2[next(iter(s2))]
+                            s2[bno] = 0
+                        if len(s) >= dassoc:
+                            del s[next(iter(s))]
+                        s[bno] = 0
+                    dmru[0] = bno
+                    if bno == last_bno:
+                        break
+                    dctr[5] += 1
+                    bno = last_bno
+                dctr[4] += stall
+            # -- tag leg (1 byte, never spans) --
+            taddr = tag_base + (addr >> tag_shift)
+            tctr[0] += 1
+            fp = taddr >> fig_shift
+            if fp != tfig_mru[0]:
+                tpages_add(fp)
+                tfig_mru[0] = fp
+            page_no = taddr >> page_shift
+            if page_no != ttlb_mru[0]:
+                s = ttlb_sets[page_no & tlb_mask]
+                if page_no in s:
+                    del s[page_no]
+                    s[page_no] = 0
+                else:
+                    tctr[1] += 1
+                    tctr[4] += tlb_pen
+                    if len(s) >= tlb_assoc:
+                        del s[next(iter(s))]
+                    s[page_no] = 0
+                ttlb_mru[0] = page_no
+            bno = taddr >> block_shift
+            if bno != tmru[0]:
+                s = tsets[bno & tmask]
+                if bno in s:
+                    del s[bno]
+                    s[bno] = 0
+                else:
+                    tctr[2] += 1
+                    stall = l1_pen
+                    s2 = l2_sets[bno & l2_mask]
+                    if bno in s2:
+                        del s2[bno]
+                        s2[bno] = 0
+                    else:
+                        tctr[3] += 1
+                        stall += l2_pen
+                        if len(s2) >= l2_assoc:
+                            del s2[next(iter(s2))]
+                        s2[bno] = 0
+                    if len(s) >= tassoc:
+                        del s[next(iter(s))]
+                    s[bno] = 0
+                    tctr[4] += stall
+                tmru[0] = bno
+            # a spanning data access leaves the recency tail at the
+            # second block, so a future same-key probe could not skip
+            wp_mru[0] = key if composite and first_bno == last_bno \
+                else -1
+            dp_mru[0] = -1
+
+        return word_probe
+
+    def _make_kind_probe(self, kind: str, size: int, base: int,
+                         addr_scale: int):
+        """Fixed-size single-kind probe: charges ``base + key *
+        addr_scale`` for ``size`` bytes under ``kind``."""
+        (block_shift, page_shift, tlb_mask, tlb_assoc, l2_sets,
+         l2_mask, l2_assoc, tlb_pen, l1_pen, l2_pen,
+         fig_shift) = self._geometry()
+        (ctr, pages, tlb_sets, tlb_mru, csets, cmask, cassoc,
+         cmru) = self._kinds[kind]
+        span = size - 1
+        identity = base == 0 and addr_scale == 1
+        pages_add = pages.add
+        fig_mru = [-1]
+        self._reset_cells.append(fig_mru)
+        wp_mru = self._wp_mru
+        dp_mru = self._dp_mru
+        # only the data probe gets a composite cell; it shares the
+        # dtlb/L1 with the word/shadow probes and the generic entry
+        # point, so each of those invalidates it on their full paths
+        is_data = kind == "data"
+        composite = (is_data and block_shift <= fig_shift
+                     and block_shift < page_shift)
+
+        def kind_probe(key):
+            addr = key if identity else base + key * addr_scale
+            first_bno = addr >> block_shift
+            last_bno = (addr + span) >> block_shift
+            if first_bno == last_bno == dp_mru[0] and is_data:
+                ctr[0] += 1
+                return
+            ctr[0] += 1
+            fp = addr >> fig_shift
+            if fp != fig_mru[0]:
+                pages_add(fp)
+                fig_mru[0] = fp
+            page_no = addr >> page_shift
+            if page_no != tlb_mru[0]:
+                s = tlb_sets[page_no & tlb_mask]
+                if page_no in s:
+                    del s[page_no]
+                    s[page_no] = 0
+                else:
+                    ctr[1] += 1
+                    ctr[4] += tlb_pen
+                    if len(s) >= tlb_assoc:
+                        del s[next(iter(s))]
+                    s[page_no] = 0
+                tlb_mru[0] = page_no
+            if first_bno == last_bno == cmru[0]:
+                pass
+            else:
+                bno = first_bno
+                stall = 0
+                while True:
+                    s = csets[bno & cmask]
+                    if bno in s:
+                        del s[bno]
+                        s[bno] = 0
+                    else:
+                        ctr[2] += 1
+                        stall += l1_pen
+                        s2 = l2_sets[bno & l2_mask]
+                        if bno in s2:
+                            del s2[bno]
+                            s2[bno] = 0
+                        else:
+                            ctr[3] += 1
+                            stall += l2_pen
+                            if len(s2) >= l2_assoc:
+                                del s2[next(iter(s2))]
+                            s2[bno] = 0
+                        if len(s) >= cassoc:
+                            del s[next(iter(s))]
+                        s[bno] = 0
+                    cmru[0] = bno
+                    if bno == last_bno:
+                        break
+                    ctr[5] += 1
+                    bno = last_bno
+                ctr[4] += stall
+            if is_data:
+                dp_mru[0] = first_bno \
+                    if composite and first_bno == last_bno else -1
+                wp_mru[0] = -1
+            else:
+                wp_mru[0] = -1
+                dp_mru[0] = -1
+
+        return kind_probe
+
+    def make_shadow_probe(self):
+        """Probe for the shadow double word of a data word ``key``
+        (``key`` is the word-aligned data address)."""
+        return self._make_kind_probe("shadow", 8, SHADOW_SPACE_BASE, 2)
+
+    def make_data_probe(self):
+        """Probe for a plain 4-byte ``"data"`` access at an address."""
+        return self._make_kind_probe("data", 4, 0, 1)
+
+    # callers hot enough to inline the composite-hit path themselves
+    # (the decoded memory closures) get the probe plus the cells the
+    # short circuit reads: on a hit only the access counters advance.
+
+    def word_probe_parts(self, tag_base: int, tag_shift: int):
+        """``(probe, wp_mru, data_ctr, tag_ctr, key_shift)`` for an
+        inlined ``key == wp_mru[0]`` fast path around
+        :meth:`make_word_probe`."""
+        probe = self.make_word_probe(tag_base, tag_shift)
+        key_shift = min(tag_shift, _ilog2(self.params.block))
+        return (probe, self._wp_mru, self._kinds["data"][_R_CTR],
+                self._kinds["tag"][_R_CTR], key_shift)
+
+    def data_probe_parts(self):
+        """``(probe, dp_mru, data_ctr, block_shift)`` for an inlined
+        non-spanning ``bkey == dp_mru[0]`` fast path around
+        :meth:`make_data_probe`."""
+        return (self.make_data_probe(), self._dp_mru,
+                self._kinds["data"][_R_CTR],
+                _ilog2(self.params.block))
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def stats(self) -> AccessStats:
+        """Materialize the batched counters as an ``AccessStats``."""
+        out = AccessStats()
+        for kind, rec in self._kinds.items():
+            ctr, pages = rec[_R_CTR], rec[_R_PAGES]
+            ks = out.kinds[kind]
+            ks.accesses = ctr[_ACC]
+            ks.tlb_misses = ctr[_TLB_M]
+            ks.l1_misses = ctr[_L1_M]
+            ks.l2_misses = ctr[_L2_M]
+            ks.stall_cycles = ctr[_STALL]
+            ks.pages = set(pages)
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero all counters (cache contents are kept warm)."""
+        for rec in self._kinds.values():
+            ctr, pages = rec[_R_CTR], rec[_R_PAGES]
+            for i in range(len(ctr)):
+                ctr[i] = 0
+            pages.clear()
+        # composite/fig-page shortcuts may elide page-set adds; after
+        # clearing the sets they must repopulate from scratch
+        for cell in self._reset_cells:
+            cell[0] = -1
+
+    # -- diagnostic views --------------------------------------------------
+
+    def _probe_counts(self, kinds_subset: Tuple[str, ...],
+                      miss_idx: int,
+                      spanning: bool) -> Tuple[int, int]:
+        acc = misses = 0
+        for kind in kinds_subset:
+            ctr = self._kinds[kind][_R_CTR]
+            acc += ctr[_ACC] + (ctr[_SPANS] if spanning else 0)
+            misses += ctr[miss_idx]
+        return acc, misses
+
+    @property
+    def l1(self) -> _CacheView:
+        acc, m = self._probe_counts(("data", "shadow", "soft"),
+                                    _L1_M, True)
+        return _CacheView("L1D", acc, m)
+
+    @property
+    def tag_cache(self) -> _CacheView:
+        acc, m = self._probe_counts(("tag",), _L1_M, True)
+        return _CacheView("TagCache", acc, m)
+
+    @property
+    def l2(self) -> _CacheView:
+        acc = sum(self._kinds[k][_R_CTR][_L1_M] for k in KINDS)
+        m = sum(self._kinds[k][_R_CTR][_L2_M] for k in KINDS)
+        return _CacheView("L2", acc, m)
+
+    @property
+    def dtlb(self) -> _CacheView:
+        acc, m = self._probe_counts(("data", "shadow", "soft"),
+                                    _TLB_M, False)
+        return _CacheView("DTLB", acc, m)
+
+    @property
+    def tag_tlb(self) -> _CacheView:
+        acc, m = self._probe_counts(("tag",), _TLB_M, False)
+        return _CacheView("TagTLB", acc, m)

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.baselines.fatptr import ccured_sim_config
 from repro.baselines.objtable import ObjectTableModel
+from repro.caches.hierarchy import CacheParams
 from repro.harness.runner import (
     BenchmarkRun,
     ENCODINGS,
@@ -264,6 +265,151 @@ def sweep_ccured_safe_fraction_parallel(
             for fraction in fracs}
 
 
+def _objtable_elision_cell(job: Tuple[str, Optional[float], str]):
+    """Worker: one workload at one object-table elision fraction.
+
+    A ``None`` fraction is the plain-core baseline cell (timing on,
+    matching :func:`repro.harness.sweeps.sweep_objtable_elision`).
+    """
+    name, fraction, engine = job
+    if fraction is None:
+        return run_workload(name, MachineConfig.plain(engine=engine))
+    model = ObjectTableModel(elide_fraction=fraction)
+    run_workload(name, MachineConfig.hardbound(timing=False,
+                                               engine=engine),
+                 observer=model)
+    return ObjTableSummary(model)
+
+
+def _objtable_descriptor(name: str, fraction: Optional[float],
+                         engine: str) -> dict:
+    return {
+        "schema": CACHE_SCHEMA,
+        "sweep": "objtable-elision",
+        "source": source_digest(WORKLOADS[name].source),
+        "workload": name,
+        "fraction": fraction,
+        "engine": engine,
+    }
+
+
+def sweep_objtable_elision_parallel(
+        workloads: Iterable[str],
+        fractions: Iterable[float],
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        engine: str = ENGINE_DECODED) -> Dict[float, float]:
+    """Sharded, cached version of
+    :func:`repro.harness.sweeps.sweep_objtable_elision`.
+
+    Cells are (workload × fraction) plus one plain baseline per
+    workload; results identical to the serial sweep.
+    """
+    names = list(workloads)
+    fracs = list(fractions)
+    jobs: List[Tuple[str, Optional[float], str]] = \
+        [(name, None, engine) for name in names]
+    jobs += [(name, fraction, engine)
+             for fraction in fracs for name in names]
+    results = _run_cached_jobs(jobs, _objtable_elision_cell,
+                               _objtable_descriptor, workers, cache)
+    out: Dict[float, float] = {}
+    for fraction in fracs:
+        total = 0.0
+        for name in names:
+            base = results[(name, None, engine)]
+            summary = results[(name, fraction, engine)]
+            total += (base.cycles + summary.extra_uops) / base.cycles
+        out[fraction] = total / len(names)
+    return out
+
+
+def _tag_cache_cell(job: Tuple[str, int, str, str]):
+    """Worker: one workload under one tag-metadata-cache size."""
+    name, size, encoding, engine = job
+    params = CacheParams(tag_cache_size=size)
+    return run_workload(
+        name, MachineConfig.hardbound(encoding=encoding, engine=engine),
+        cache_params=params)
+
+
+def _tag_cache_descriptor(name: str, size: int, encoding: str,
+                          engine: str) -> dict:
+    return {
+        "schema": CACHE_SCHEMA,
+        "sweep": "tag-cache",
+        "source": source_digest(WORKLOADS[name].source),
+        "workload": name,
+        "tag_cache_size": size,
+        "encoding": encoding,
+        "engine": engine,
+    }
+
+
+def sweep_tag_cache_parallel(
+        workloads: Iterable[str],
+        sizes: Iterable[int],
+        encoding: str = "extern4",
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        engine: str = ENGINE_DECODED
+) -> Dict[Tuple[str, int], Dict[str, float]]:
+    """Sharded, cached tag-cache size sensitivity sweep (E9).
+
+    Returns ``{(workload, size): {"cycles", "tag_miss_rate"}}``; the
+    miss rate comes from the run's tag-kind counters (a tag byte
+    never spans blocks, so it equals the tag cache's own miss rate).
+    """
+    names = list(workloads)
+    size_list = list(sizes)
+    jobs = [(name, size, encoding, engine)
+            for name in names for size in size_list]
+    results = _run_cached_jobs(jobs, _tag_cache_cell,
+                               _tag_cache_descriptor, workers, cache)
+    out: Dict[Tuple[str, int], Dict[str, float]] = {}
+    for name, size, _enc, _eng in jobs:
+        run = results[(name, size, encoding, engine)]
+        tag = run.mem_stats.kinds["tag"]
+        out[(name, size)] = {
+            "cycles": run.cycles,
+            "tag_miss_rate": (tag.l1_misses / tag.accesses
+                              if tag.accesses else 0.0),
+        }
+    return out
+
+
+def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
+                     cache: Optional[ResultCache]) -> Dict:
+    """Resolve jobs through the cache, shard the misses over a pool."""
+    results: Dict = {}
+    pending = []
+    pending_keys: List[Optional[str]] = []
+    for job in jobs:
+        key = None
+        if cache is not None:
+            key = ResultCache.key_of(descriptor_fn(*job))
+            hit = cache.get(key)
+            if hit is not None:
+                results[job] = hit
+                continue
+        pending.append(job)
+        pending_keys.append(key)
+    if pending:
+        if workers > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers) as pool:
+                for job, result in zip(pending,
+                                       pool.map(cell_fn, pending)):
+                    results[job] = result
+        else:
+            for job in pending:
+                results[job] = cell_fn(job)
+        if cache is not None:
+            for job, key in zip(pending, pending_keys):
+                cache.put(key, results[job])
+    return results
+
+
 # -- CLI --------------------------------------------------------------------
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -280,7 +426,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk cache")
     parser.add_argument("--engine", default=ENGINE_DECODED,
-                        help="execution engine (decoded|legacy)")
+                        help="execution engine (decoded|blocks|legacy)")
+    parser.add_argument("--sweep", choices=("objtable", "tagcache"),
+                        default=None,
+                        help="run a sensitivity sweep instead of a "
+                             "figure matrix")
     args = parser.parse_args(argv)
 
     if args.engine not in ENGINES:
@@ -295,6 +445,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         figure5_table, figure6_table, figure7_table, format_table)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.sweep is not None:
+        names = args.workloads or list(WORKLOADS)
+        if args.sweep == "objtable":
+            sweep = sweep_objtable_elision_parallel(
+                names, (0.0, 0.25, 0.5, 0.75, 0.95),
+                workers=args.workers, cache=cache, engine=args.engine)
+            rows = [["%.2f" % fraction, "%.3f" % overhead]
+                    for fraction, overhead in sorted(sweep.items())]
+            print(format_table(["elision", "overhead"], rows,
+                               "Object-table elision sensitivity"))
+        else:
+            sweep = sweep_tag_cache_parallel(
+                names, (512, 2048, 8192, 32768),
+                workers=args.workers, cache=cache, engine=args.engine)
+            rows = [[name, "%dB" % size, "%d" % cell["cycles"],
+                     "%.4f" % cell["tag_miss_rate"]]
+                    for (name, size), cell in sorted(sweep.items())]
+            print(format_table(["benchmark", "tag-cache", "cycles",
+                                "tag-miss-rate"], rows,
+                               "Tag cache size sensitivity (extern4)"))
+        if cache is not None:
+            print("\ncache: %d hit(s), %d miss(es) at %s"
+                  % (cache.hits, cache.misses, cache.path))
+        return 0
     matrix = run_benchmark_matrix_parallel(
         workloads=args.workloads, workers=args.workers, cache=cache,
         engine=args.engine)

@@ -63,8 +63,18 @@ def sweep_ccured_safe_fraction(
 
 def sweep_objtable_elision(
         workloads: Iterable[str],
-        fractions: Iterable[float]) -> Dict[float, float]:
-    """Average object-table runtime overhead per elision fraction."""
+        fractions: Iterable[float],
+        workers: Optional[int] = None) -> Dict[float, float]:
+    """Average object-table runtime overhead per elision fraction.
+
+    With ``workers``, the (workload × fraction) grid is sharded
+    across processes by the parallel harness.
+    """
+    if workers is not None and workers > 1:
+        from repro.harness.parallel import \
+            sweep_objtable_elision_parallel
+        return sweep_objtable_elision_parallel(
+            workloads, fractions, workers=workers)
     out: Dict[float, float] = {}
     names = list(workloads)
     bases = {name: run_workload(name, MachineConfig.plain())

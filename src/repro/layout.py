@@ -61,13 +61,20 @@ def shadow_bound_addr(addr: int) -> int:
     return shadow_base_addr(addr) + WORD
 
 
+#: one tag bit per 4-byte word: one tag byte covers 32 bytes of data
+TAG1_SHIFT = 5
+
+#: one tag nibble per word: one tag byte covers 8 bytes of data
+TAG4_SHIFT = 3
+
+
 def tag1_addr(addr: int) -> int:
     """Byte address in the 1-bit tag space covering data word ``addr``.
 
     One tag bit per 4-byte word means one tag byte covers 32 bytes of
     data (the paper's "1 bit per 32-bit word is 3%" footprint).
     """
-    return TAG1_BASE + (addr >> 5)
+    return TAG1_BASE + (addr >> TAG1_SHIFT)
 
 
 def tag4_addr(addr: int) -> int:
@@ -75,7 +82,7 @@ def tag4_addr(addr: int) -> int:
 
     One nibble per word: one tag byte covers 8 bytes of data.
     """
-    return TAG4_BASE + (addr >> 3)
+    return TAG4_BASE + (addr >> TAG4_SHIFT)
 
 
 def page_of(addr: int) -> int:

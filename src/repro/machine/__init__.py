@@ -15,6 +15,7 @@ from repro.machine.errors import (
     HaltSignal,
 )
 from repro.machine.config import (
+    ENGINE_BLOCKS,
     ENGINE_DECODED,
     ENGINE_LEGACY,
     ENGINES,
@@ -38,6 +39,7 @@ __all__ = [
     "AbortError",
     "InstructionLimitExceeded",
     "HaltSignal",
+    "ENGINE_BLOCKS",
     "ENGINE_DECODED",
     "ENGINE_LEGACY",
     "ENGINES",

@@ -1,0 +1,570 @@
+"""Basic-block fusion execution engine.
+
+The decoded engine (:mod:`repro.machine.decode`) pays a fixed
+dispatch tax per *instruction*: a list index, an instruction-limit
+compare, a faulting-pc bookkeeping store, a closure call and a
+next-pc select.  This module amortizes that tax over straight-line
+runs:
+
+1. **Block discovery** — a linear pass over the linked program finds
+   block leaders (the entry point, branch/call targets, fallthrough
+   points after control transfers, and ``setcode`` immediates, which
+   are the ISA's function-pointer constants) and grows each leader
+   into a maximal straight-line block, giving a CFG of
+   :class:`BasicBlock` nodes.
+
+2. **Superinstruction fusion** — each block is compiled into one
+   *block closure*: a generated function executing the whole block
+   in a single call.  Hot handler shapes (``mov``, ``add``/``sub``,
+   compares, non-propagating ALU, branches, ``call``/``callr``/
+   ``ret``) are inlined as source templates with their operands
+   passed in as closure cells; everything else (memory operations,
+   HardBound primitives, environment calls) calls the instruction's
+   decoded closure from :func:`repro.machine.decode.decode_program`
+   unchanged.  Generated code objects are cached by the block's
+   *shape signature*, so two blocks with the same instruction shapes
+   share one compilation.
+
+3. **Block-threaded dispatch** — the run loop executes one block per
+   iteration: one table lookup, one limit compare against the whole
+   block length, one call.
+
+Trap semantics stay **bit-identical** to the other engines without
+slowing the happy path: the generator records which source line
+belongs to which instruction offset, so when something raises, the
+faulting offset is recovered from the exception traceback's line
+number in the block frame and the instruction count is rewound to
+exactly what the per-instruction engines would report.  Control
+transfers into the middle of a block (a computed ``callr`` into a
+non-leader pc) fall back to single-instruction stepping on the same
+decoded closures, as does any block that could bust the instruction
+limit mid-flight.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.opcodes import Op, REG_RA
+from repro.isa.program import Program
+from repro.layout import MASK32, MAXINT
+from repro.machine.errors import (
+    HaltSignal,
+    InstructionLimitExceeded,
+    InvalidCodePointerError,
+    MemoryFault,
+    Trap,
+)
+
+#: opcodes that end a basic block (transfer or stop control)
+TERMINATORS = frozenset({
+    Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL, Op.CALLR, Op.RET,
+    Op.HALT, Op.ABORT,
+})
+
+#: opcodes with a static branch/call target
+_TARGETED = frozenset({Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL})
+
+#: cap on fused block length; the capped tail simply becomes the next
+#: block, entered by fallthrough
+MAX_BLOCK_LEN = 64
+
+
+class BasicBlock:
+    """One CFG node: a maximal straight-line instruction run.
+
+    ``succs`` holds the *static* successor pcs: branch targets and
+    fallthrough points.  Indirect transfers (``callr``/``ret``) and
+    program exit have no static successors.
+    """
+
+    __slots__ = ("start", "length", "succs")
+
+    def __init__(self, start: int, length: int,
+                 succs: Tuple[int, ...]):
+        self.start = start
+        self.length = length
+        self.succs = succs
+
+    @property
+    def end(self) -> int:
+        """pc one past the last instruction of the block."""
+        return self.start + self.length
+
+    def __repr__(self):
+        return ("BasicBlock(%d..%d -> %s)"
+                % (self.start, self.end - 1, list(self.succs)))
+
+
+def find_leaders(program: Program) -> set:
+    """Pcs where a basic block may begin.
+
+    Leaders are the program entry, every static branch/call target,
+    the instruction after every control transfer (branch fallthrough
+    and call/``callr`` return point), and every in-range ``setcode``
+    immediate — the only way this ISA materializes a code-pointer
+    constant for an indirect call.
+    """
+    instrs = program.instrs
+    n = len(instrs)
+    leaders = set()
+    if not n:
+        return leaders
+    leaders.add(program.entry)
+    for i, instr in enumerate(instrs):
+        op = instr.op
+        if op in _TARGETED:
+            target = instr.target
+            if target is not None and 0 <= target < n:
+                leaders.add(target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif op in TERMINATORS:  # callr/ret/halt/abort
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif op is Op.SETCODE and instr.rs is None:
+            target = (instr.imm or 0) & MASK32
+            if target < n:
+                leaders.add(target)
+    return leaders
+
+
+def _static_succs(program: Program, start: int,
+                  length: int) -> Tuple[int, ...]:
+    instrs = program.instrs
+    n = len(instrs)
+    last = instrs[start + length - 1]
+    op = last.op
+    fall = start + length
+    if op is Op.JMP:
+        return (last.target,)
+    if op in (Op.BEQZ, Op.BNEZ):
+        succs = [last.target]
+        if fall < n:
+            succs.append(fall)
+        return tuple(succs)
+    if op is Op.CALL:
+        return (last.target,)
+    if op in (Op.CALLR, Op.RET, Op.HALT, Op.ABORT):
+        return ()
+    return (fall,) if fall < n else ()
+
+
+def build_cfg(program: Program) -> List[BasicBlock]:
+    """Discover the basic blocks of a linked program, in pc order.
+
+    Every leader opens a block that extends to the first terminator,
+    the instruction before the next leader, or the fusion cap,
+    whichever comes first.  Capped tails open follow-on blocks at
+    non-leader pcs (they are only ever entered by fallthrough).
+    """
+    instrs = program.instrs
+    n = len(instrs)
+    leaders = find_leaders(program)
+    blocks: List[BasicBlock] = []
+    starts = sorted(leaders)
+    seen = set()
+    while starts:
+        next_starts: List[int] = []
+        for start in starts:
+            if start in seen:
+                continue
+            seen.add(start)
+            j = start
+            while True:
+                if instrs[j].op in TERMINATORS:
+                    break
+                nxt = j + 1
+                if nxt >= n or nxt in leaders or nxt in seen:
+                    break
+                if nxt - start >= MAX_BLOCK_LEN:
+                    next_starts.append(nxt)
+                    break
+                j = nxt
+            length = j - start + 1
+            blocks.append(BasicBlock(
+                start, length, _static_succs(program, start, length)))
+        starts = sorted(next_starts)
+    blocks.sort(key=lambda b: b.start)
+    return blocks
+
+
+# -- superinstruction templates ----------------------------------------------
+
+# Each fused instruction is a *part*: a template id (the shape), the
+# parameters it pulls into the generated function's closure, and its
+# source lines.  Blocks with equal shape-id tuples share one compiled
+# code object; operands travel as closure cells, never as literals.
+
+_M32 = str(MASK32)
+_MSB = str(0x80000000)
+_MAX = str(MAXINT)
+_RA = str(REG_RA)
+
+#: comparison expression templates, mirrored from decode.build_cmp
+_CMP_RR = {
+    Op.SEQ: "value[rs{i}] == value[rt{i}]",
+    Op.SNE: "value[rs{i}] != value[rt{i}]",
+    Op.SLT: "(value[rs{i}] ^ %s) < (value[rt{i}] ^ %s)" % (_MSB, _MSB),
+    Op.SLE: "(value[rs{i}] ^ %s) <= (value[rt{i}] ^ %s)" % (_MSB, _MSB),
+    Op.SGT: "(value[rs{i}] ^ %s) > (value[rt{i}] ^ %s)" % (_MSB, _MSB),
+    Op.SGE: "(value[rs{i}] ^ %s) >= (value[rt{i}] ^ %s)" % (_MSB, _MSB),
+    Op.SLTU: "value[rs{i}] < value[rt{i}]",
+    Op.SGEU: "value[rs{i}] >= value[rt{i}]",
+}
+_CMP_RI = {
+    Op.SEQ: "value[rs{i}] == k{i}",
+    Op.SNE: "value[rs{i}] != k{i}",
+    Op.SLT: "(value[rs{i}] ^ %s) < k{i}" % _MSB,
+    Op.SLE: "(value[rs{i}] ^ %s) <= k{i}" % _MSB,
+    Op.SGT: "(value[rs{i}] ^ %s) > k{i}" % _MSB,
+    Op.SGE: "(value[rs{i}] ^ %s) >= k{i}" % _MSB,
+    Op.SLTU: "value[rs{i}] < k{i}",
+    Op.SGEU: "value[rs{i}] >= k{i}",
+}
+_SIGNED_CMPS = frozenset({Op.SLT, Op.SLE, Op.SGT, Op.SGE})
+_NONPROP = frozenset({Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+                      Op.SHL, Op.SHR, Op.SRA})
+
+
+class _Part:
+    """One fused instruction: shape id, closure params, source lines."""
+
+    __slots__ = ("shape", "params", "lines")
+
+    def __init__(self, shape: str, params: List[Tuple[str, object]],
+                 lines: List[str]):
+        self.shape = shape
+        self.params = params
+        self.lines = lines
+
+
+def _closure_part(i: int, fn, terminator: bool,
+                  term_pc: int) -> _Part:
+    if terminator:
+        return _Part("ft", [("f%d" % i, fn), ("t%d" % i, term_pc)],
+                     ["return f{i}(t{i})".format(i=i)])
+    return _Part("f", [("f%d" % i, fn)], ["f{i}(0)".format(i=i)])
+
+
+def _template_part(instr, i: int, pc: int, observer_none: bool,
+                   full_mode: bool) -> Optional[_Part]:
+    """Template for one instruction, or ``None`` to use its closure.
+
+    Every template is a source-level copy of the corresponding
+    decoded closure body (same statement order, same trap types);
+    the engine differential suite enforces the equivalence.
+    """
+    op = instr.op
+    rd, rs, rt = instr.rd, instr.rs, instr.rt
+    if op is Op.MOV:
+        if rs is not None:
+            return _Part("movrr", [("rd%d" % i, rd), ("rs%d" % i, rs)],
+                         ["value[rd{i}] = value[rs{i}]",
+                          "rbase[rd{i}] = rbase[rs{i}]",
+                          "rbound[rd{i}] = rbound[rs{i}]"])
+        return _Part("movri",
+                     [("rd%d" % i, rd),
+                      ("k%d" % i, (instr.imm or 0) & MASK32)],
+                     ["value[rd{i}] = k{i}",
+                      "rbase[rd{i}] = 0",
+                      "rbound[rd{i}] = 0"])
+    if op in (Op.ADD, Op.SUB) and observer_none:
+        if rt is not None:
+            sign = "-" if op is Op.SUB else "+"
+            return _Part("addsubrr" + sign,
+                         [("rd%d" % i, rd), ("rs%d" % i, rs),
+                          ("rt%d" % i, rt)],
+                         ["v = (value[rs{i}] %s value[rt{i}]) & %s"
+                          % (sign, _M32),
+                          "if rbase[rs{i}] or rbound[rs{i}]:",
+                          "    value[rd{i}] = v",
+                          "    rbase[rd{i}] = rbase[rs{i}]",
+                          "    rbound[rd{i}] = rbound[rs{i}]",
+                          "else:",
+                          "    value[rd{i}] = v",
+                          "    rbase[rd{i}] = rbase[rt{i}]",
+                          "    rbound[rd{i}] = rbound[rt{i}]"])
+        k = instr.imm or 0
+        if op is Op.SUB:
+            k = -k
+        return _Part("addsubri",
+                     [("rd%d" % i, rd), ("rs%d" % i, rs),
+                      ("k%d" % i, k)],
+                     ["v = (value[rs{i}] + k{i}) & %s" % _M32,
+                      "if rbase[rs{i}] or rbound[rs{i}]:",
+                      "    value[rd{i}] = v",
+                      "    rbase[rd{i}] = rbase[rs{i}]",
+                      "    rbound[rd{i}] = rbound[rs{i}]",
+                      "else:",
+                      "    value[rd{i}] = v",
+                      "    rbase[rd{i}] = 0",
+                      "    rbound[rd{i}] = 0"])
+    if op in _CMP_RR:
+        if rt is not None:
+            expr = _CMP_RR[op]
+            shape = "cmp_rr_" + op.value
+            params = [("rd%d" % i, rd), ("rs%d" % i, rs),
+                      ("rt%d" % i, rt)]
+        else:
+            # mirror build_cmp's immediate pre-transformations
+            k = instr.imm or 0
+            if op in (Op.SEQ, Op.SNE):
+                k &= MASK32
+            elif op in _SIGNED_CMPS:
+                k = (k & MASK32) ^ 0x80000000
+            expr = _CMP_RI[op]
+            shape = "cmp_ri_" + op.value
+            params = [("rd%d" % i, rd), ("rs%d" % i, rs),
+                      ("k%d" % i, k)]
+        return _Part(shape, params,
+                     ["value[rd{i}] = 1 if " + expr + " else 0",
+                      "rbase[rd{i}] = 0",
+                      "rbound[rd{i}] = 0"])
+    if op in _NONPROP:
+        from repro.machine.decode import _NONPROP_FNS
+        fn = _NONPROP_FNS[op]
+        if rt is not None:
+            return _Part("np_rr",
+                         [("fn%d" % i, fn), ("rd%d" % i, rd),
+                          ("rs%d" % i, rs), ("rt%d" % i, rt)],
+                         ["value[rd{i}] = fn{i}(value[rs{i}], "
+                          "value[rt{i}]) & %s" % _M32,
+                          "rbase[rd{i}] = 0",
+                          "rbound[rd{i}] = 0"])
+        return _Part("np_ri",
+                     [("fn%d" % i, fn), ("rd%d" % i, rd),
+                      ("rs%d" % i, rs), ("k%d" % i, instr.imm or 0)],
+                     ["value[rd{i}] = fn{i}(value[rs{i}], k{i}) & %s"
+                      % _M32,
+                      "rbase[rd{i}] = 0",
+                      "rbound[rd{i}] = 0"])
+    if op is Op.JMP:
+        return _Part("jmp", [("t%d" % i, instr.target)],
+                     ["return t{i}"])
+    if op is Op.BEQZ:
+        return _Part("beqz", [("t%d" % i, instr.target),
+                              ("rs%d" % i, rs)],
+                     ["return t{i} if value[rs{i}] == 0 else None"])
+    if op is Op.BNEZ:
+        return _Part("bnez", [("t%d" % i, instr.target),
+                              ("rs%d" % i, rs)],
+                     ["return t{i} if value[rs{i}] != 0 else None"])
+    if op is Op.CALL:
+        return _Part("call", [("t%d" % i, instr.target),
+                              ("r%d" % i, (pc + 1) & MASK32)],
+                     ["value[%s] = r{i}" % _RA,
+                      "rbase[%s] = %s" % (_RA, _MAX),
+                      "rbound[%s] = %s" % (_RA, _MAX),
+                      "return t{i}"])
+    if op is Op.RET:
+        lines = ["t = value[%s]" % _RA]
+        if full_mode:
+            lines += ["if rbase[%s] != %s or rbound[%s] != %s:"
+                      % (_RA, _MAX, _RA, _MAX),
+                      "    raise _icpe(t)"]
+        lines += ["if t >= _n:",
+                  "    raise _icpe(t)",
+                  "return t"]
+        return _Part("ret%d" % full_mode, [], lines)
+    if op is Op.CALLR:
+        lines = ["t = value[rs{i}]"]
+        if full_mode:
+            lines += ["if rbase[rs{i}] != %s or rbound[rs{i}] != %s:"
+                      % (_MAX, _MAX),
+                      "    raise _icpe(t)"]
+        lines += ["if t >= _n:",
+                  "    raise _icpe(t)",
+                  "value[%s] = r{i}" % _RA,
+                  "rbase[%s] = %s" % (_RA, _MAX),
+                  "rbound[%s] = %s" % (_RA, _MAX),
+                  "return t"]
+        return _Part("callr%d" % full_mode,
+                     [("rs%d" % i, rs), ("r%d" % i, (pc + 1) & MASK32)],
+                     lines)
+    return None
+
+
+#: pseudo-filename of the generated fuser source (shows in tracebacks)
+_FUSE_FILENAME = "<repro-block-fuse>"
+
+#: shape signature -> (fuse function, block code object)
+_fuse_cache: Dict[Tuple[str, ...], tuple] = {}
+#: block code object -> {line number -> instruction offset}
+_line_maps: Dict[object, Dict[int, int]] = {}
+
+#: shared environment parameters appended to every fuser signature
+_ENV_PARAMS = ("value", "rbase", "rbound", "_n", "_icpe")
+
+
+def _compile_fuser(signature: Tuple[str, ...],
+                   parts: List[_Part]):
+    """Compile (or fetch) the fuser for a block shape signature."""
+    cached = _fuse_cache.get(signature)
+    if cached is not None:
+        return cached
+    names: List[str] = []
+    for part in parts:
+        names.extend(name for name, _ in part.params)
+    header = "def _fuse(%s):" % ", ".join(list(names) + list(_ENV_PARAMS))
+    lines = [header, "    def _block(pc):"]
+    line_of: Dict[int, int] = {}
+    for offset, part in enumerate(parts):
+        fmt = {"i": offset}
+        for raw in part.lines:
+            lines.append("        " + raw.format(**fmt))
+            line_of[len(lines)] = offset
+    lines.append("    return _block")
+    namespace: dict = {}
+    exec(compile("\n".join(lines), _FUSE_FILENAME, "exec"), namespace)
+    fuse = namespace["_fuse"]
+    block_code = next(const for const in fuse.__code__.co_consts
+                      if isinstance(const, types.CodeType)
+                      and const.co_name == "_block")
+    entry = (fuse, block_code)
+    _fuse_cache[signature] = entry
+    _line_maps[block_code] = line_of
+    return entry
+
+
+def build_block_table(cpu, code: list) -> list:
+    """Fuse every CFG block of the cpu's program over its closures.
+
+    Returns a pc-indexed table: ``None`` at non-block pcs, else
+    ``(block_closure, length, fallthrough_pc, last_pc)``.
+    """
+    program = cpu.program
+    instrs = program.instrs
+    observer_none = cpu.observer is None
+    full_mode = cpu.full_mode
+    regs = cpu.regs
+    env = (regs.value, regs.base, regs.bound, len(instrs),
+           InvalidCodePointerError)
+    table: list = [None] * len(code)
+    for block in build_cfg(program):
+        start, length = block.start, block.length
+        parts: List[_Part] = []
+        for offset in range(length):
+            pc = start + offset
+            part = _template_part(instrs[pc], offset, pc,
+                                  observer_none, full_mode)
+            if part is None:
+                part = _closure_part(offset, code[pc],
+                                     offset == length - 1, pc)
+            parts.append(part)
+        signature = tuple(part.shape for part in parts)
+        fuse, _block_code = _compile_fuser(signature, parts)
+        args = [value for part in parts for _, value in part.params]
+        fn = fuse(*(args + list(env)))
+        table[start] = (fn, length, start + length, start + length - 1)
+    return table
+
+
+def _trap_offset(exc: BaseException) -> Optional[int]:
+    """Instruction offset within the dispatched block, if any.
+
+    Walks the exception's traceback for a generated block frame and
+    maps its line number through the block's line table to the
+    instruction offset that raised.  Returns ``None`` when the
+    exception did not pass through a block closure (single-step
+    dispatch, or a fault in the driver itself).
+    """
+    tb = exc.__traceback__
+    offset = None
+    while tb is not None:
+        line_of = _line_maps.get(tb.tb_frame.f_code)
+        if line_of is not None:
+            offset = line_of.get(tb.tb_lineno, offset)
+        tb = tb.tb_next
+    return offset
+
+
+# -- block-threaded run loop -------------------------------------------------
+
+def execute_blocks(cpu):
+    """Run ``cpu`` to halt on fused basic blocks.
+
+    Observable behaviour is bit-identical to the legacy and decoded
+    engines: the same statistics, the same trap types/messages, the
+    same faulting pc and instruction count on every exit path.  The
+    fast path dispatches whole blocks; control transfers into
+    non-leader pcs and blocks that could cross the instruction limit
+    are single-stepped on the underlying decoded closures.
+    """
+    from repro.machine.cpu import RunResult
+    from repro.machine.decode import decode_program
+
+    code = decode_program(cpu)
+    table = build_block_table(cpu, code)
+    n = len(code)
+    limit = cpu.config.max_instructions
+    pc = cpu.pc
+    lpc = pc
+    icount = cpu.icount
+    blen = 1
+    try:
+        while True:
+            entry = table[pc]
+            if entry is not None:
+                fn, blen, fall, last = entry
+                nic = icount + blen
+                if nic <= limit:
+                    icount = nic
+                    lpc = last
+                    npc = fn(pc)
+                    pc = fall if npc is None else npc
+                    continue
+            # single-step: mid-block entry, or the limit may fire
+            # within the block — mirror the decoded loop exactly
+            lpc = pc
+            icount += 1
+            if icount > limit:
+                raise InstructionLimitExceeded(limit)
+            npc = code[pc](pc)
+            pc = pc + 1 if npc is None else npc
+    except HaltSignal as halt:
+        offset = _trap_offset(halt)
+        if offset is None:
+            cpu.icount = icount
+            cpu.pc = pc
+        else:
+            cpu.icount = icount - (blen - offset - 1)
+            cpu.pc = lpc - blen + 1 + offset
+        return RunResult(cpu, halt.code)
+    except IndexError as exc:
+        offset = _trap_offset(exc)
+        if offset is not None:
+            # genuine IndexError inside a fused instruction
+            cpu.icount = icount - (blen - offset - 1)
+            cpu.pc = lpc - blen + 1 + offset
+            raise
+        if 0 <= pc < n:
+            # genuine IndexError in a single-stepped closure
+            cpu.icount = icount
+            cpu.pc = lpc
+            raise
+        # ``pc`` can never go negative (branch targets are label
+        # indices, indirect targets masked-unsigned), so this is the
+        # out-of-range fetch of the legacy loop
+        cpu.icount = icount
+        cpu.pc = lpc
+        raise MemoryFault(pc, "fetch").at(lpc)
+    except Trap as trap:
+        offset = _trap_offset(trap)
+        if offset is None:
+            cpu.icount = icount
+            cpu.pc = lpc
+            raise trap.at(lpc)
+        cpu.icount = icount - (blen - offset - 1)
+        cpu.pc = lpc - blen + 1 + offset
+        raise trap.at(cpu.pc)
+    except BaseException as exc:
+        offset = _trap_offset(exc)
+        if offset is None:
+            cpu.icount = icount
+            cpu.pc = lpc
+        else:
+            cpu.icount = icount - (blen - offset - 1)
+            cpu.pc = lpc - blen + 1 + offset
+        raise

@@ -10,7 +10,8 @@ from repro.layout import STACK_SIZE
 #: Execution-engine names accepted by :attr:`MachineConfig.engine`.
 ENGINE_DECODED = "decoded"
 ENGINE_LEGACY = "legacy"
-ENGINES = (ENGINE_DECODED, ENGINE_LEGACY)
+ENGINE_BLOCKS = "blocks"
+ENGINES = (ENGINE_DECODED, ENGINE_LEGACY, ENGINE_BLOCKS)
 
 
 class SafetyMode(enum.Enum):
@@ -58,10 +59,13 @@ class MachineConfig:
     ``engine``
         Execution engine: ``"decoded"`` (default) pre-decodes the
         program into per-instruction closures with operand forms
-        resolved once; ``"legacy"`` is the original per-instruction
-        dispatch loop, retained for differential testing.  Both
-        produce bit-identical :class:`~repro.machine.cpu.RunResult`
-        statistics.
+        resolved once; ``"blocks"`` additionally fuses straight-line
+        runs into basic-block superinstructions and pairs them with
+        the fast memory-timing model
+        (:class:`~repro.caches.fast.FastMemorySystem`); ``"legacy"``
+        is the original per-instruction dispatch loop, retained for
+        differential testing.  All three produce bit-identical
+        :class:`~repro.machine.cpu.RunResult` statistics.
     ``retain_cpu``
         Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
         on the returned :class:`~repro.machine.cpu.RunResult` so its

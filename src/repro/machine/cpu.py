@@ -20,6 +20,7 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, List, Optional
 
+from repro.caches.fast import FastMemorySystem
 from repro.caches.hierarchy import CacheParams, MemorySystem
 from repro.hardbound.engine import HardBoundEngine
 from repro.isa.opcodes import Op, REG_FP, REG_RA, REG_SP
@@ -31,7 +32,12 @@ from repro.layout import (
     STACK_TOP,
     to_signed,
 )
-from repro.machine.config import ENGINE_DECODED, MachineConfig, SafetyMode
+from repro.machine.config import (
+    ENGINE_BLOCKS,
+    ENGINE_DECODED,
+    MachineConfig,
+    SafetyMode,
+)
 from repro.machine.errors import (
     AbortError,
     DivideByZeroError,
@@ -156,7 +162,12 @@ class CPU:
             params = cache_params or CacheParams()
             if cache_params is None:
                 params.tag_cache_size = encoding.tag_cache_size
-            self.memsys: Optional[MemorySystem] = MemorySystem(params)
+            # the blocks engine pairs with the fast timing model;
+            # both models are counter-identical (tests/caches)
+            memsys_cls = (FastMemorySystem
+                          if self.config.engine == ENGINE_BLOCKS
+                          else MemorySystem)
+            self.memsys: Optional[MemorySystem] = memsys_cls(params)
         else:
             self.memsys = None
         if self.hb_enabled:
@@ -207,13 +218,18 @@ class CPU:
         """Execute until ``halt``; traps raise annotated exceptions.
 
         Dispatches to the engine selected by ``config.engine``: the
-        pre-decoded closure-threaded engine (default) or the legacy
-        per-instruction dispatch loop.  Both are bit-identical in
-        results and trap behaviour.
+        pre-decoded closure-threaded engine (default), the
+        basic-block fusion engine, or the legacy per-instruction
+        dispatch loop.  All are bit-identical in results and trap
+        behaviour.
         """
-        if self.config.engine == ENGINE_DECODED and not self.force_legacy:
-            from repro.machine.decode import execute_decoded
-            return execute_decoded(self)
+        if not self.force_legacy:
+            if self.config.engine == ENGINE_DECODED:
+                from repro.machine.decode import execute_decoded
+                return execute_decoded(self)
+            if self.config.engine == ENGINE_BLOCKS:
+                from repro.machine.blocks import execute_blocks
+                return execute_blocks(self)
         return self._run_legacy()
 
     def _run_legacy(self) -> RunResult:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.caches.fast import FastMemorySystem
 from repro.hardbound.engine import HardBoundEngine
 from repro.isa.opcodes import Op, REG_FP, REG_RA, REG_SP
 from repro.layout import (
@@ -38,13 +39,17 @@ from repro.layout import (
     HEAP_BASE,
     MASK32,
     MAXINT,
-    NULL_GUARD,
     PAGE_SHIFT,
     PAGE_SIZE,
     SHADOW_SPACE_BASE,
     STACK_TOP,
+    TAG1_BASE,
+    TAG1_SHIFT,
+    TAG4_BASE,
+    TAG4_SHIFT,
     to_signed,
 )
+from repro.metadata.encodings import make_inline_compressible
 from repro.machine.errors import (
     AbortError,
     BoundsError,
@@ -159,19 +164,49 @@ def decode_program(cpu) -> List[DecodedOp]:
         hb_load_sub = hb.load_sub_meta
         hb_store_word = hb.store_word_meta
         hb_store_sub = hb.store_sub_meta
-        # the stock engine with paper-default knobs is inlined into the
-        # memory closures; ablations and substituted engines are not
-        inline_check = (type(hb) is HardBoundEngine and not hb.check_uop
-                        and not hb.check_access_extent)
         meta_map = hb.meta._meta
         meta_get = meta_map.get
         meta_pop = meta_map.pop
         enc = hb.encoding
-        is_comp = enc.is_compressible
-        tag_addr = enc.tag_addr
+        # stock encodings get a flat is_compressible closure and
+        # inline tag-address arithmetic; subclassed encodings keep
+        # their methods and take the generic path
+        comp_inline = make_inline_compressible(enc)
+        is_comp = comp_inline if comp_inline is not None \
+            else enc.is_compressible
+        if comp_inline is not None:
+            tag_base, tag_shift = ((TAG4_BASE, TAG4_SHIFT)
+                                   if enc.tag_bits == 4
+                                   else (TAG1_BASE, TAG1_SHIFT))
+        else:
+            tag_base = tag_shift = None
+        # the stock engine with paper-default knobs and a stock
+        # encoding is inlined into the memory closures; ablations and
+        # substituted engines/encodings are not
+        inline_check = (type(hb) is HardBoundEngine and not hb.check_uop
+                        and not hb.check_access_extent
+                        and tag_base is not None)
     else:
         hb_stats = None
         inline_check = False
+        tag_base = tag_shift = None
+
+    # the fast timing model hands out single-call probes for the hot
+    # access shapes (plus the cells to inline their composite-hit
+    # path); the classic model keeps its generic entry point
+    if memsys is not None and isinstance(memsys, FastMemorySystem):
+        dprobe, dp_mru, dp_ctr, dp_shift = memsys.data_probe_parts()
+        sprobe = memsys.make_shadow_probe() if hb is not None else None
+        if inline_check:
+            (wprobe, wp_mru, wp_dctr, wp_tctr,
+             wp_shift) = memsys.word_probe_parts(tag_base, tag_shift)
+        else:
+            wprobe = None
+    else:
+        dprobe = sprobe = wprobe = None
+        dp_mru = dp_ctr = dp_shift = None
+    if wprobe is None:
+        wp_mru = wp_dctr = wp_tctr = wp_shift = None
 
     out_append = cpu.output.append
     capture = cpu.config.capture_output
@@ -513,11 +548,10 @@ def decode_program(cpu) -> List[DecodedOp]:
                         hb_stats.nonpointer_derefs += 1
                     if temporal_check is not None:
                         temporal_check(ea, 4)
-                    if ea < NULL_GUARD:
-                        raise MemoryFault(ea, "read")
                     end = ea + 4
-                    if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                            or (HEAP_BASE <= ea and end <= memory.brk)
+                    if not ((HEAP_BASE <= ea and end <= memory.brk)
+                            or (GLOBAL_BASE <= ea
+                                and end <= globals_limit)
                             or (stack_base <= ea and end <= STACK_TOP)):
                         raise MemoryFault(ea, "read")
                     off = ea & pmask
@@ -527,12 +561,20 @@ def decode_program(cpu) -> List[DecodedOp]:
                              else from_bytes(page[off:off + 4], "little"))
                     else:
                         v = raw_read(ea, 4)
-                    if data_access is not None:
+                    if wprobe is not None:
+                        wkey = ea >> wp_shift
+                        if wkey == wp_mru[0] \
+                                and (ea + 3) >> wp_shift == wkey:
+                            wp_dctr[0] += 1
+                            wp_tctr[0] += 1
+                        else:
+                            wprobe(ea)
+                    elif data_access is not None:
                         data_access(ea, 4, False, "data")
+                        data_access(tag_base + (ea >> tag_shift), 1,
+                                    False, "tag")
                     if observer is not None:
                         observer.on_mem(ea, 4, False)
-                    if data_access is not None:
-                        data_access(tag_addr(ea), 1, False, "tag")
                     meta = meta_get(ea & wmask)
                     if meta is None:
                         value[rd] = v
@@ -545,7 +587,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                         hb_stats.compressed_loads += 1
                     else:
                         hb_stats.meta_uops += 1
-                        if data_access is not None:
+                        if sprobe is not None:
+                            sprobe(ea & wmask)
+                        elif data_access is not None:
                             data_access(SHADOW_SPACE_BASE
                                         + (ea & wmask) * 2, 8, False,
                                         "shadow")
@@ -574,11 +618,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                     hb_stats.nonpointer_derefs += 1
                 if temporal_check is not None:
                     temporal_check(ea, 4)
-                if ea < NULL_GUARD:
-                    raise MemoryFault(ea, "read")
                 end = ea + 4
-                if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (HEAP_BASE <= ea and end <= memory.brk)
+                if not ((HEAP_BASE <= ea and end <= memory.brk)
+                        or (GLOBAL_BASE <= ea and end <= globals_limit)
                         or (stack_base <= ea and end <= STACK_TOP)):
                     raise MemoryFault(ea, "read")
                 off = ea & pmask
@@ -588,12 +630,20 @@ def decode_program(cpu) -> List[DecodedOp]:
                          else from_bytes(page[off:off + 4], "little"))
                 else:
                     v = raw_read(ea, 4)
-                if data_access is not None:
+                if wprobe is not None:
+                    wkey = ea >> wp_shift
+                    if wkey == wp_mru[0] \
+                            and (ea + 3) >> wp_shift == wkey:
+                        wp_dctr[0] += 1
+                        wp_tctr[0] += 1
+                    else:
+                        wprobe(ea)
+                elif data_access is not None:
                     data_access(ea, 4, False, "data")
+                    data_access(tag_base + (ea >> tag_shift), 1,
+                                False, "tag")
                 if observer is not None:
                     observer.on_mem(ea, 4, False)
-                if data_access is not None:
-                    data_access(tag_addr(ea), 1, False, "tag")
                 meta = meta_get(ea & wmask)
                 if meta is None:
                     value[rd] = v
@@ -606,7 +656,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                     hb_stats.compressed_loads += 1
                 else:
                     hb_stats.meta_uops += 1
-                    if data_access is not None:
+                    if sprobe is not None:
+                        sprobe(ea & wmask)
+                    elif data_access is not None:
                         data_access(SHADOW_SPACE_BASE + (ea & wmask) * 2,
                                     8, False, "shadow")
                 value[rd] = v
@@ -617,11 +669,9 @@ def decode_program(cpu) -> List[DecodedOp]:
         if hb is None and size == 4 and rs is not None and rt is None:
             def load_s_word_plain(pc):
                 ea = (value[rs] + disp) & MASK32
-                if ea < NULL_GUARD:
-                    raise MemoryFault(ea, "read")
                 end = ea + 4
-                if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (HEAP_BASE <= ea and end <= memory.brk)
+                if not ((HEAP_BASE <= ea and end <= memory.brk)
+                        or (GLOBAL_BASE <= ea and end <= globals_limit)
                         or (stack_base <= ea and end <= STACK_TOP)):
                     raise MemoryFault(ea, "read")
                 off = ea & pmask
@@ -631,7 +681,14 @@ def decode_program(cpu) -> List[DecodedOp]:
                          else from_bytes(page[off:off + 4], "little"))
                 else:
                     v = raw_read(ea, 4)
-                if data_access is not None:
+                if dprobe is not None:
+                    bkey = ea >> dp_shift
+                    if bkey == dp_mru[0] \
+                            and (ea + 3) >> dp_shift == bkey:
+                        dp_ctr[0] += 1
+                    else:
+                        dprobe(ea)
+                elif data_access is not None:
                     data_access(ea, 4, False, "data")
                 if observer is not None:
                     observer.on_mem(ea, 4, False)
@@ -690,11 +747,10 @@ def decode_program(cpu) -> List[DecodedOp]:
                         hb_stats.nonpointer_derefs += 1
                     if temporal_check is not None:
                         temporal_check(ea, 4)
-                    if ea < NULL_GUARD:
-                        raise MemoryFault(ea, "write")
                     end = ea + 4
-                    if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                            or (HEAP_BASE <= ea and end <= memory.brk)
+                    if not ((HEAP_BASE <= ea and end <= memory.brk)
+                            or (GLOBAL_BASE <= ea
+                                and end <= globals_limit)
                             or (stack_base <= ea and end <= STACK_TOP)):
                         raise MemoryFault(ea, "write")
                     v = value[rd]
@@ -708,12 +764,20 @@ def decode_program(cpu) -> List[DecodedOp]:
                         page[off:off + 4] = v.to_bytes(4, "little")
                     else:
                         raw_write(ea, 4, v)
-                    if data_access is not None:
+                    if wprobe is not None:
+                        wkey = ea >> wp_shift
+                        if wkey == wp_mru[0] \
+                                and (ea + 3) >> wp_shift == wkey:
+                            wp_dctr[0] += 1
+                            wp_tctr[0] += 1
+                        else:
+                            wprobe(ea)
+                    elif data_access is not None:
                         data_access(ea, 4, True, "data")
+                        data_access(tag_base + (ea >> tag_shift), 1,
+                                    True, "tag")
                     if observer is not None:
                         observer.on_mem(ea, 4, True)
-                    if data_access is not None:
-                        data_access(tag_addr(ea), 1, True, "tag")
                     key = ea & wmask
                     mb = rbase[rd]
                     mbd = rbound[rd]
@@ -726,7 +790,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                         hb_stats.compressed_stores += 1
                     else:
                         hb_stats.meta_uops += 1
-                        if data_access is not None:
+                        if sprobe is not None:
+                            sprobe(key)
+                        elif data_access is not None:
                             data_access(SHADOW_SPACE_BASE + key * 2, 8,
                                         True, "shadow")
                 return store_s_word
@@ -751,11 +817,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                     hb_stats.nonpointer_derefs += 1
                 if temporal_check is not None:
                     temporal_check(ea, 4)
-                if ea < NULL_GUARD:
-                    raise MemoryFault(ea, "write")
                 end = ea + 4
-                if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (HEAP_BASE <= ea and end <= memory.brk)
+                if not ((HEAP_BASE <= ea and end <= memory.brk)
+                        or (GLOBAL_BASE <= ea and end <= globals_limit)
                         or (stack_base <= ea and end <= STACK_TOP)):
                     raise MemoryFault(ea, "write")
                 v = value[rd]
@@ -769,12 +833,20 @@ def decode_program(cpu) -> List[DecodedOp]:
                     page[off:off + 4] = v.to_bytes(4, "little")
                 else:
                     raw_write(ea, 4, v)
-                if data_access is not None:
+                if wprobe is not None:
+                    wkey = ea >> wp_shift
+                    if wkey == wp_mru[0] \
+                            and (ea + 3) >> wp_shift == wkey:
+                        wp_dctr[0] += 1
+                        wp_tctr[0] += 1
+                    else:
+                        wprobe(ea)
+                elif data_access is not None:
                     data_access(ea, 4, True, "data")
+                    data_access(tag_base + (ea >> tag_shift), 1,
+                                True, "tag")
                 if observer is not None:
                     observer.on_mem(ea, 4, True)
-                if data_access is not None:
-                    data_access(tag_addr(ea), 1, True, "tag")
                 key = ea & wmask
                 mb = rbase[rd]
                 mbd = rbound[rd]
@@ -787,7 +859,9 @@ def decode_program(cpu) -> List[DecodedOp]:
                     hb_stats.compressed_stores += 1
                 else:
                     hb_stats.meta_uops += 1
-                    if data_access is not None:
+                    if sprobe is not None:
+                        sprobe(key)
+                    elif data_access is not None:
                         data_access(SHADOW_SPACE_BASE + key * 2, 8,
                                     True, "shadow")
             return store_si_word
@@ -795,11 +869,9 @@ def decode_program(cpu) -> List[DecodedOp]:
         if hb is None and size == 4 and rs is not None and rt is None:
             def store_s_word_plain(pc):
                 ea = (value[rs] + disp) & MASK32
-                if ea < NULL_GUARD:
-                    raise MemoryFault(ea, "write")
                 end = ea + 4
-                if not ((GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (HEAP_BASE <= ea and end <= memory.brk)
+                if not ((HEAP_BASE <= ea and end <= memory.brk)
+                        or (GLOBAL_BASE <= ea and end <= globals_limit)
                         or (stack_base <= ea and end <= STACK_TOP)):
                     raise MemoryFault(ea, "write")
                 v = value[rd]
@@ -813,7 +885,14 @@ def decode_program(cpu) -> List[DecodedOp]:
                     page[off:off + 4] = v.to_bytes(4, "little")
                 else:
                     raw_write(ea, 4, v)
-                if data_access is not None:
+                if dprobe is not None:
+                    bkey = ea >> dp_shift
+                    if bkey == dp_mru[0] \
+                            and (ea + 3) >> dp_shift == bkey:
+                        dp_ctr[0] += 1
+                    else:
+                        dprobe(ea)
+                elif data_access is not None:
                     data_access(ea, 4, True, "data")
                 if observer is not None:
                     observer.on_mem(ea, 4, True)

@@ -1,0 +1,234 @@
+"""FastMemorySystem must be counter-identical to MemorySystem.
+
+Random access streams (including tiny caches that force constant
+aliasing and eviction, spanning accesses, and the hot-probe entry
+points) are replayed against both models and every statistic is
+compared.  Whole-workload equivalence is covered by the engine
+differential suite.
+"""
+
+import random
+
+from repro.caches.fast import FastMemorySystem
+from repro.caches.hierarchy import CacheParams, MemorySystem
+from repro.layout import TAG1_BASE, shadow_base_addr
+
+KINDS = ("data", "shadow", "tag", "soft")
+
+
+def assert_same_stats(classic, fast):
+    assert fast.stats.as_dict() == classic.stats.as_dict()
+    assert fast.stats.total_stall_cycles() == \
+        classic.stats.total_stall_cycles()
+
+
+def replay(params, stream):
+    classic = MemorySystem(params)
+    fast = FastMemorySystem(params)
+    for addr, size, write, kind in stream:
+        assert fast.access(addr, size, write, kind) == \
+            classic.access(addr, size, write, kind), (addr, size, kind)
+    assert_same_stats(classic, fast)
+    return classic, fast
+
+
+def random_stream(rng, n, addr_space, kinds=KINDS):
+    stream = []
+    for _ in range(n):
+        kind = rng.choice(kinds)
+        addr = rng.randrange(addr_space)
+        size = rng.choice((1, 2, 4, 8))
+        stream.append((addr, size, rng.random() < 0.5, kind))
+    return stream
+
+
+class TestGenericAccessEquivalence:
+    def test_random_stream_default_params(self):
+        rng = random.Random(1)
+        replay(CacheParams(), random_stream(rng, 4000, 1 << 20))
+
+    def test_tiny_caches_force_evictions(self):
+        rng = random.Random(2)
+        params = CacheParams(l1_size=256, l1_assoc=2, l2_size=1024,
+                             l2_assoc=2, tag_cache_size=128,
+                             tag_cache_assoc=2, tlb_entries=4,
+                             tlb_assoc=2)
+        replay(params, random_stream(rng, 6000, 1 << 16))
+
+    def test_hot_loop_with_aliasing(self):
+        """Repeated small working set: exercises every MRU shortcut."""
+        rng = random.Random(3)
+        hot = [rng.randrange(1 << 14) for _ in range(16)]
+        stream = []
+        for _ in range(5000):
+            if rng.random() < 0.8:
+                addr = rng.choice(hot)
+            else:
+                addr = rng.randrange(1 << 16)
+            stream.append((addr, 4, False, rng.choice(KINDS)))
+        replay(CacheParams(l1_size=512, l1_assoc=2, tlb_entries=4,
+                           tlb_assoc=2, tag_cache_size=128,
+                           tag_cache_assoc=2), stream)
+
+    def test_spanning_accesses_charge_two_blocks(self):
+        params = CacheParams()
+        classic, fast = replay(params, [(30, 4, False, "data"),
+                                        (30, 4, False, "data"),
+                                        (62, 8, True, "shadow")])
+        assert fast.stats["data"].l1_misses == 2
+
+
+class TestProbeEquivalence:
+    def test_word_probe_matches_access_pair(self):
+        rng = random.Random(4)
+        params = CacheParams(l1_size=512, l1_assoc=2, tlb_entries=4,
+                             tlb_assoc=2, tag_cache_size=128,
+                             tag_cache_assoc=2)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        probe = fast.make_word_probe(TAG1_BASE, 5)
+        hot = [rng.randrange(1 << 14) & ~3 for _ in range(8)]
+        for _ in range(5000):
+            addr = (rng.choice(hot) if rng.random() < 0.7
+                    else rng.randrange(1 << 16))
+            classic.access(addr, 4, False, "data")
+            classic.access(TAG1_BASE + (addr >> 5), 1, False, "tag")
+            probe(addr)
+        assert_same_stats(classic, fast)
+
+    def test_mixed_probes_and_generic_accesses(self):
+        """Interleaving must not confuse the composite shortcuts."""
+        rng = random.Random(5)
+        params = CacheParams(l1_size=512, l1_assoc=2, tlb_entries=4,
+                             tlb_assoc=2, tag_cache_size=128,
+                             tag_cache_assoc=2)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        wprobe = fast.make_word_probe(TAG1_BASE, 5)
+        dprobe = fast.make_data_probe()
+        sprobe = fast.make_shadow_probe()
+        hot = [rng.randrange(1 << 13) & ~3 for _ in range(6)]
+        for _ in range(8000):
+            addr = (rng.choice(hot) if rng.random() < 0.7
+                    else rng.randrange(1 << 15) & ~3)
+            op = rng.randrange(4)
+            if op == 0:
+                classic.access(addr, 4, False, "data")
+                classic.access(TAG1_BASE + (addr >> 5), 1, False,
+                               "tag")
+                wprobe(addr)
+            elif op == 1:
+                classic.access(addr, 4, True, "data")
+                dprobe(addr)
+            elif op == 2:
+                classic.access(shadow_base_addr(addr), 8, False,
+                               "shadow")
+                sprobe(addr & ~3)
+            else:
+                size = rng.choice((1, 2, 4))
+                classic.access(addr, size, False, "data")
+                fast.access(addr, size, False, "data")
+        assert_same_stats(classic, fast)
+
+    def test_misaligned_word_after_same_block_hit(self):
+        """A spanning word repeating the MRU key must not be skipped.
+
+        Regression: the composite shortcut's key granule pins only
+        the access's *first* block, so a misaligned word at the tail
+        of the same block still has to charge the second block.
+        """
+        params = CacheParams()
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        probe = fast.make_word_probe(TAG1_BASE, 5)
+        for addr in (0x07FFFFC0, 0x07FFFFDE, 0x07FFFFDE):
+            classic.access(addr, 4, False, "data")
+            classic.access(TAG1_BASE + (addr >> 5), 1, False, "tag")
+            probe(addr)
+        assert_same_stats(classic, fast)
+        assert fast.stats["data"].l1_misses == 2
+
+    def test_probe_parts_inline_fast_path(self):
+        """The exported composite cells mirror the probe's skips."""
+        params = CacheParams()
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        (wprobe, wp_mru, wp_dctr, wp_tctr,
+         wp_shift) = fast.word_probe_parts(TAG1_BASE, 5)
+        addrs = [4096, 4100, 4104, 8192, 4096, 4096]
+        for addr in addrs:
+            classic.access(addr, 4, False, "data")
+            classic.access(TAG1_BASE + (addr >> 5), 1, False, "tag")
+            if addr >> wp_shift == wp_mru[0]:
+                wp_dctr[0] += 1
+                wp_tctr[0] += 1
+            else:
+                wprobe(addr)
+        assert_same_stats(classic, fast)
+
+
+class TestInterface:
+    def test_reset_stats_keeps_contents(self):
+        fast = FastMemorySystem(CacheParams())
+        fast.access(4096, 4, False, "data")
+        fast.access(4096, 4, False, "data")
+        fast.reset_stats()
+        assert fast.stats["data"].accesses == 0
+        # the block is still cached: the next access hits
+        stall = fast.access(4096, 4, False, "data")
+        assert stall == 0
+        assert fast.stats["data"].l1_misses == 0
+
+    def test_reset_stats_repopulates_page_sets_through_probes(self):
+        """Regression: the fig-page/composite shortcuts must not
+        survive a stats reset, or cleared page sets stay empty."""
+        classic = MemorySystem(CacheParams())
+        fast = FastMemorySystem(CacheParams())
+        dprobe = fast.make_data_probe()
+        wprobe = fast.make_word_probe(TAG1_BASE, 5)
+        classic.access(4096, 4, False, "data")
+        dprobe(4096)
+        classic.access(8192, 4, False, "data")
+        classic.access(TAG1_BASE + (8192 >> 5), 1, False, "tag")
+        wprobe(8192)
+        classic.reset_stats()
+        fast.reset_stats()
+        classic.access(4096, 4, False, "data")
+        dprobe(4096)
+        classic.access(8192, 4, False, "data")
+        classic.access(TAG1_BASE + (8192 >> 5), 1, False, "tag")
+        wprobe(8192)
+        assert_same_stats(classic, fast)
+        assert fast.stats["data"].as_dict()["distinct_pages"] == 2
+        assert fast.stats["tag"].as_dict()["distinct_pages"] == 1
+
+    def test_cache_views_report_miss_rates(self):
+        classic = MemorySystem(CacheParams())
+        fast = FastMemorySystem(CacheParams())
+        stream = [(4096 + 32 * i, 4, False, "data") for i in range(64)]
+        stream += [(TAG1_BASE + i, 1, False, "tag") for i in range(64)]
+        for addr, size, write, kind in stream:
+            classic.access(addr, size, write, kind)
+            fast.access(addr, size, write, kind)
+        assert fast.l1.accesses == classic.l1.accesses
+        assert fast.l1.misses == classic.l1.misses
+        assert fast.l1.miss_rate() == classic.l1.miss_rate()
+        assert fast.tag_cache.miss_rate() == \
+            classic.tag_cache.miss_rate()
+        assert fast.l2.accesses == classic.l2.accesses
+        assert fast.dtlb.misses == classic.dtlb.misses
+        assert fast.tag_tlb.accesses == classic.tag_tlb.accesses
+        assert fast.l1.hits == classic.l1.hits
+
+    def test_stats_snapshot_is_independent(self):
+        fast = FastMemorySystem(CacheParams())
+        fast.access(4096, 4, False, "data")
+        snap = fast.stats
+        fast.access(1 << 20, 4, False, "data")
+        assert snap["data"].accesses == 1
+        assert fast.stats["data"].accesses == 2
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+        with pytest.raises(ValueError):
+            FastMemorySystem(CacheParams(l1_size=1000))

@@ -8,9 +8,14 @@ from repro.harness.parallel import (
     cell_descriptor,
     run_benchmark_matrix_parallel,
     run_cell,
+    sweep_objtable_elision_parallel,
+    sweep_tag_cache_parallel,
 )
 from repro.harness.runner import run_benchmark_matrix
-from repro.harness.sweeps import sweep_ccured_safe_fraction
+from repro.harness.sweeps import (
+    sweep_ccured_safe_fraction,
+    sweep_objtable_elision,
+)
 
 WORKLOADS = ("treeadd", "power")
 ENCODINGS = ("intern11",)
@@ -91,3 +96,58 @@ class TestShardedSweeps:
         assert set(serial) == set(parallel)
         for fraction in serial:
             assert abs(serial[fraction] - parallel[fraction]) < 1e-12
+
+    def test_objtable_sweep_matches_serial_and_caches(self, tmp_path):
+        names = ["treeadd"]
+        fractions = [0.0, 0.5]
+        serial = sweep_objtable_elision(names, fractions)
+        cache = ResultCache(str(tmp_path / "cache"))
+        parallel = sweep_objtable_elision_parallel(
+            names, fractions, workers=2, cache=cache)
+        assert set(serial) == set(parallel)
+        for fraction in serial:
+            assert abs(serial[fraction] - parallel[fraction]) < 1e-12
+        # one baseline cell + one cell per fraction
+        assert cache.misses == 1 + len(fractions)
+
+        warm_cache = ResultCache(str(tmp_path / "cache"))
+        warm = sweep_objtable_elision_parallel(
+            names, fractions, workers=2, cache=warm_cache)
+        assert warm_cache.hits == 1 + len(fractions)
+        assert warm_cache.misses == 0
+        assert warm == parallel
+
+    def test_objtable_sweep_workers_delegation(self):
+        names = ["treeadd"]
+        fractions = [0.5]
+        serial = sweep_objtable_elision(names, fractions)
+        delegated = sweep_objtable_elision(names, fractions, workers=2)
+        assert abs(serial[0.5] - delegated[0.5]) < 1e-12
+
+    def test_tag_cache_sweep_matches_direct_runs(self, tmp_path):
+        from repro.caches.hierarchy import CacheParams
+        from repro.harness.runner import run_workload
+        from repro.machine.config import MachineConfig
+
+        names = ["treeadd"]
+        sizes = [512, 8192]
+        cache = ResultCache(str(tmp_path / "cache"))
+        sweep = sweep_tag_cache_parallel(names, sizes, workers=2,
+                                         cache=cache)
+        assert set(sweep) == {("treeadd", 512), ("treeadd", 8192)}
+        for size in sizes:
+            run = run_workload(
+                "treeadd",
+                MachineConfig.hardbound(encoding="extern4",
+                                        retain_cpu=True),
+                cache_params=CacheParams(tag_cache_size=size))
+            cell = sweep[("treeadd", size)]
+            assert cell["cycles"] == run.cycles
+            assert abs(cell["tag_miss_rate"]
+                       - run.cpu.memsys.tag_cache.miss_rate()) < 1e-12
+
+        warm_cache = ResultCache(str(tmp_path / "cache"))
+        warm = sweep_tag_cache_parallel(names, sizes, workers=2,
+                                        cache=warm_cache)
+        assert warm_cache.hits == len(sizes)
+        assert warm == sweep

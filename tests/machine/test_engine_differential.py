@@ -1,11 +1,12 @@
-"""Differential testing: decoded closure engine vs. legacy dispatch.
+"""Differential testing: every execution engine against the legacy one.
 
-The decoded engine must be *bit-identical* to the legacy interpreter:
-same exit codes, program output, instruction/µop/cycle counts, same
-HardBound and memory-system statistics, and the same traps (type,
-message, faulting pc) on every violation.  These tests run real Olden
-workloads and the violation scenarios under both engines and compare
-everything observable.
+The decoded closure engine and the basic-block fusion engine must be
+*bit-identical* to the legacy interpreter: same exit codes, program
+output, instruction/µop/cycle counts, same HardBound and
+memory-system statistics, the same final memory image, and the same
+traps (type, message, faulting pc) on every violation.  These tests
+run real Olden workloads and the violation scenarios under all three
+engines and compare everything observable.
 """
 
 import pytest
@@ -26,34 +27,50 @@ from repro.workloads.registry import WORKLOADS
 #: three Olden workloads exercising trees, graphs and linked lists
 DIFF_WORKLOADS = ("treeadd", "em3d", "health")
 
-ENGINES = ("legacy", "decoded")
+ENGINES = ("legacy", "decoded", "blocks")
+NEW_ENGINES = ("decoded", "blocks")
 
 
-def run_both(program, **config_kw):
-    """Run one program under both engines; return both results."""
-    results = {}
+def memory_image(cpu):
+    """Normalized final memory state: non-zero pages plus segments."""
+    pages = {no: bytes(page) for no, page in cpu.memory._pages.items()
+             if any(page)}
+    return (pages, cpu.memory.brk, cpu.memory.globals_limit)
+
+
+def run_engines(program, **config_kw):
+    """Run one program under every engine; return results and images."""
+    results, images = {}, {}
     for engine in ENGINES:
         cpu = CPU(program, MachineConfig(engine=engine, **config_kw))
         results[engine] = cpu.run()
-    return results["legacy"], results["decoded"]
+        images[engine] = memory_image(cpu)
+    return results, images
 
 
-def assert_identical(legacy, decoded):
-    assert decoded.exit_code == legacy.exit_code
-    assert decoded.output == legacy.output
-    assert decoded.instructions == legacy.instructions
-    assert decoded.uops == legacy.uops
-    assert decoded.stall_cycles == legacy.stall_cycles
-    assert decoded.cycles == legacy.cycles
-    assert decoded.setbound_uops == legacy.setbound_uops
+def assert_identical(legacy, other):
+    assert other.exit_code == legacy.exit_code
+    assert other.output == legacy.output
+    assert other.instructions == legacy.instructions
+    assert other.uops == legacy.uops
+    assert other.stall_cycles == legacy.stall_cycles
+    assert other.cycles == legacy.cycles
+    assert other.setbound_uops == legacy.setbound_uops
     if legacy.hb_stats is None:
-        assert decoded.hb_stats is None
+        assert other.hb_stats is None
     else:
-        assert decoded.hb_stats.as_dict() == legacy.hb_stats.as_dict()
+        assert other.hb_stats.as_dict() == legacy.hb_stats.as_dict()
     if legacy.mem_stats is None:
-        assert decoded.mem_stats is None
+        assert other.mem_stats is None
     else:
-        assert decoded.mem_stats.as_dict() == legacy.mem_stats.as_dict()
+        assert other.mem_stats.as_dict() == legacy.mem_stats.as_dict()
+
+
+def assert_all_identical(results, images=None):
+    for engine in NEW_ENGINES:
+        assert_identical(results["legacy"], results[engine])
+        if images is not None:
+            assert images[engine] == images["legacy"], engine
 
 
 class TestWorkloadEquivalence:
@@ -62,37 +79,51 @@ class TestWorkloadEquivalence:
         config = MachineConfig.hardbound(timing=False)
         program = compile_cached(WORKLOADS[name].source,
                                  mode_for_config(config))
-        legacy, decoded = run_both(
+        results, images = run_engines(
             program, mode=config.mode, encoding=config.encoding,
             timing=False)
-        assert_identical(legacy, decoded)
+        assert_all_identical(results, images)
 
     @pytest.mark.parametrize("name", DIFF_WORKLOADS)
     def test_plain_functional(self, name):
         config = MachineConfig.plain(timing=False)
         program = compile_cached(WORKLOADS[name].source,
                                  mode_for_config(config))
-        legacy, decoded = run_both(
+        results, images = run_engines(
             program, mode=config.mode, timing=False)
-        assert_identical(legacy, decoded)
+        assert_all_identical(results, images)
 
-    def test_hardbound_with_timing_model(self):
-        """Full stats equality including stalls, cache and page counts."""
+    @pytest.mark.parametrize("name", DIFF_WORKLOADS)
+    def test_hardbound_with_timing_model(self, name):
+        """Full stats equality including stalls, cache and page counts.
+
+        With timing on, the blocks engine runs the fast memory model,
+        so this is also the whole-workload differential for
+        :class:`repro.caches.fast.FastMemorySystem`.
+        """
         config = MachineConfig.hardbound(encoding="intern11")
-        program = compile_cached(WORKLOADS["treeadd"].source,
+        program = compile_cached(WORKLOADS[name].source,
                                  mode_for_config(config))
-        legacy, decoded = run_both(
+        results, images = run_engines(
             program, mode=config.mode, encoding="intern11", timing=True)
-        assert_identical(legacy, decoded)
+        assert_all_identical(results, images)
 
     @pytest.mark.parametrize("encoding", ("extern4", "intern4"))
     def test_encodings_with_timing_model(self, encoding):
         config = MachineConfig.hardbound(encoding=encoding)
         program = compile_cached(WORKLOADS["em3d"].source,
                                  mode_for_config(config))
-        legacy, decoded = run_both(
+        results, images = run_engines(
             program, mode=config.mode, encoding=encoding, timing=True)
-        assert_identical(legacy, decoded)
+        assert_all_identical(results, images)
+
+    def test_plain_with_timing_model(self):
+        config = MachineConfig.plain()
+        program = compile_cached(WORKLOADS["treeadd"].source,
+                                 mode_for_config(config))
+        results, images = run_engines(
+            program, mode=config.mode, timing=True)
+        assert_all_identical(results, images)
 
 
 VIOLATIONS = {
@@ -130,7 +161,8 @@ class TestTrapEquivalence:
                 cpu.run()
             traps[engine] = (type(exc.value), str(exc.value),
                              exc.value.pc, cpu.icount, cpu.pc)
-        assert traps["decoded"] == traps["legacy"]
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
 
     def test_nonpointer_trap_identical(self):
         from repro.isa import assemble
@@ -147,7 +179,8 @@ class TestTrapEquivalence:
             with pytest.raises(NonPointerError) as exc:
                 cpu.run()
             traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
-        assert traps["decoded"] == traps["legacy"]
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
 
     def test_fetch_fault_identical(self):
         """Falling off the end faults with the same pc annotation."""
@@ -161,7 +194,8 @@ class TestTrapEquivalence:
                 cpu.run()
             traps[engine] = (str(exc.value), exc.value.pc,
                              cpu.icount, cpu.pc)
-        assert traps["decoded"] == traps["legacy"]
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
 
     def test_instruction_limit_identical(self):
         from repro.isa import assemble
@@ -173,7 +207,28 @@ class TestTrapEquivalence:
             with pytest.raises(InstructionLimitExceeded):
                 cpu.run()
             states[engine] = (cpu.icount, cpu.pc)
-        assert states["decoded"] == states["legacy"]
+        for engine in NEW_ENGINES:
+            assert states[engine] == states["legacy"]
+
+    def test_limit_mid_block_identical(self):
+        """The limit can fire inside a fused straight-line run."""
+        from repro.isa import assemble
+        body = "\n".join("  add r1, r1, 1" for _ in range(20))
+        program = assemble("main:\n%s\n  halt r1\n" % body)
+        for limit in (1, 5, 19, 20, 21, 22):
+            states = {}
+            for engine in ENGINES:
+                cpu = CPU(program, MachineConfig.plain(
+                    timing=False, engine=engine,
+                    max_instructions=limit))
+                try:
+                    result = cpu.run()
+                    states[engine] = ("halt", result.exit_code,
+                                      result.instructions, cpu.pc)
+                except InstructionLimitExceeded:
+                    states[engine] = ("limit", cpu.icount, cpu.pc)
+            for engine in NEW_ENGINES:
+                assert states[engine] == states["legacy"], limit
 
     def test_divide_by_zero_identical(self):
         from repro.isa import assemble
@@ -192,7 +247,53 @@ class TestTrapEquivalence:
             with pytest.raises(DivideByZeroError) as exc:
                 cpu.run()
             traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
-        assert traps["decoded"] == traps["legacy"]
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
+
+    def test_divide_by_zero_mid_block_identical(self):
+        """A trap from a fused ALU template attributes the right pc."""
+        from repro.isa import assemble
+        from repro.machine import DivideByZeroError
+        program = assemble("""
+        main:
+            mov r1, 10
+            mov r2, 0
+            add r3, r1, 5
+            div r4, r3, r2
+            add r5, r3, 1
+            halt 0
+        """)
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine))
+            with pytest.raises(DivideByZeroError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
+
+    def test_bad_return_identical(self):
+        """The fused ret template raises the same code-pointer trap."""
+        from repro.isa import assemble
+        from repro.machine import InvalidCodePointerError
+        program = assemble("""
+        main:
+            mov r1, 12345
+            mov r15, r1
+            ret
+        """)
+        for mode_fn in (MachineConfig.plain, MachineConfig.hardbound):
+            traps = {}
+            for engine in ENGINES:
+                cpu = CPU(program, mode_fn(timing=False, engine=engine))
+                with pytest.raises(InvalidCodePointerError) as exc:
+                    cpu.run()
+                traps[engine] = (str(exc.value), exc.value.pc,
+                                 cpu.icount, cpu.pc)
+            for engine in NEW_ENGINES:
+                assert traps[engine] == traps["legacy"]
 
 
 class TestTemporalEquivalence:
@@ -215,4 +316,5 @@ class TestTemporalEquivalence:
             with pytest.raises(UseAfterFreeError) as exc:
                 cpu.run()
             traps[engine] = (str(exc.value), exc.value.pc, cpu.icount)
-        assert traps["decoded"] == traps["legacy"]
+        for engine in NEW_ENGINES:
+            assert traps[engine] == traps["legacy"]
