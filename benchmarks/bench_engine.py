@@ -6,17 +6,29 @@ workload):
 
 * the pre-decoded closure engine must stay at least 2x faster than
   the legacy dispatch loop on the functional sweep;
-* the basic-block fusion engine (with the fast memory-timing model)
-  must be at least 1.5x faster than the decoded engine on the timed
-  sweep — the acceptance bar for the ``blocks`` subsystem;
+* the basic-block fusion engine (now the default, with the fused
+  memory templates over the flat-bytearray heap and the inlined
+  fast memory-timing charges) must be at least 1.5x faster than the
+  decoded engine on the timed sweep, and at least 1.3x faster than
+  the PR 2 blocks engine on the timed sweep — the acceptance bar for
+  the flat-heap + memory-fusion work;
 * every engine stays bit-identical to the others (enforced by
   ``tests/machine/test_engine_differential.py``).
 
 The measured seconds and speedups are written to
 ``results/BENCH_engine.json`` so CI keeps a machine-readable record.
+
+The PR 2 baseline below was re-measured on the same host that
+produced the committed ``BENCH_engine.json`` (a git worktree of
+commit ``e0292d8``, best of 3 interleaved rounds, same protocol as
+this benchmark).  Cross-machine ratios against it are meaningless,
+so the ≥1.3x assertion only fires when ``REPRO_ASSERT_PR2`` is set
+in the environment (the record-generating host sets it); the ratio
+itself is always recorded.
 """
 
 import json
+import os
 import time
 
 from conftest import write_result
@@ -31,6 +43,11 @@ ENGINES = ("legacy", "decoded", "blocks")
 
 #: timing-noise guard: each sweep is repeated and the minimum kept
 ROUNDS = 3
+
+#: PR 2 blocks engine (commit e0292d8) re-measured on the record host
+PR2_BLOCKS_COMMIT = "e0292d8"
+PR2_BLOCKS_TIMED_SECONDS = 4.229
+PR2_BLOCKS_FUNCTIONAL_SECONDS = 2.177
 
 
 def _warm_compile_cache(timing):
@@ -80,6 +97,10 @@ def test_engine_speedups(benchmark):
         rows.append(["timing=%s" % timing]
                     + ["%.2fs" % best[engine] for engine in ENGINES]
                     + ["%.2fx" % speedups[timing]["blocks_vs_decoded"]])
+    speedups[True]["blocks_vs_pr2_blocks"] = \
+        PR2_BLOCKS_TIMED_SECONDS / seconds[True]["blocks"]
+    speedups[False]["blocks_vs_pr2_blocks"] = \
+        PR2_BLOCKS_FUNCTIONAL_SECONDS / seconds[False]["blocks"]
     table = format_table(
         ["sweep", "legacy", "decoded", "blocks", "blocks/decoded"],
         rows, "Engine speedups (Olden sweep)")
@@ -97,6 +118,15 @@ def test_engine_speedups(benchmark):
             "functional": speedups[False],
             "timed": speedups[True],
         },
+        "pr2_blocks_baseline": {
+            "commit": PR2_BLOCKS_COMMIT,
+            "timed_seconds": PR2_BLOCKS_TIMED_SECONDS,
+            "functional_seconds": PR2_BLOCKS_FUNCTIONAL_SECONDS,
+            "note": "same-host re-measurement of the PR 2 blocks "
+                    "engine; blocks_vs_pr2_blocks compares against "
+                    "it and is only asserted on the record host "
+                    "(REPRO_ASSERT_PR2)",
+        },
     }
     write_result("BENCH_engine.json", json.dumps(record, indent=2))
 
@@ -105,5 +135,9 @@ def test_engine_speedups(benchmark):
     assert speedups[True]["decoded_vs_legacy"] >= 1.2, speedups
     # the blocks engine must not regress the functional sweep...
     assert speedups[False]["blocks_vs_decoded"] >= 1.0, speedups
-    # ...and must clear the acceptance bar on the timed sweep
+    # ...and must clear the PR 2 acceptance bar on the timed sweep
     assert speedups[True]["blocks_vs_decoded"] >= 1.5, speedups
+    # flat-heap + memory-fusion acceptance bar (PR 3): ≥1.3x over
+    # the PR 2 blocks engine, same host only
+    if os.environ.get("REPRO_ASSERT_PR2"):
+        assert speedups[True]["blocks_vs_pr2_blocks"] >= 1.3, speedups

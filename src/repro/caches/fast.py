@@ -14,21 +14,33 @@ from flat closures with every shift, mask, penalty and set table bound
 as a local:
 
 * set-index masks and block shifts are precomputed per structure;
-* the TLB/L1/L2 probes are inlined LRU operations on plain dicts
-  (insertion order is the recency order, exactly like the
-  ``OrderedDict`` sets of :class:`~repro.caches.cache.Cache`);
+* the TLB/L1/L2 sets are plain dicts mapping key -> *recency stamp*
+  drawn from one shared monotone counter: a hit refreshes the stamp
+  with a single dict store (no del/reinsert move-to-end), a miss
+  evicts the minimum-stamp way — the same victim the ``OrderedDict``
+  LRU sets of :class:`~repro.caches.cache.Cache` would choose, so
+  the hit/miss streams are identical;
 * a most-recently-used short circuit skips the dict work entirely
   when an access touches the same block (or page) as the previous
   probe of that structure — then the block is guaranteed present
-  *and* already at the recency tail, so hit/miss/LRU state cannot
-  change and only the access counters advance;
+  *and* already most recent, so hit/miss/LRU state cannot change
+  and only the access counters advance;
 * per-kind statistics accumulate into flat counter lists and are
   materialized into an :class:`~repro.caches.stats.AccessStats` only
-  when :attr:`stats` is read;
+  when :attr:`stats` is read — **counter-batching invariant**: every
+  code path that charges an access, wherever it lives, must bump the
+  same shared counter lists, page sets and MRU cells, which is why
+  :meth:`inline_env` hands out the records themselves rather than
+  copies;
 * :meth:`make_word_probe` / :meth:`make_shadow_probe` /
   :meth:`make_data_probe` hand the execution engines single-call
   probes for their hottest access shapes (a word access fused with
-  its tag-byte probe, the shadow double word, a plain word).
+  its tag-byte probe, the shadow double word, a plain word), and
+  :meth:`inline_env` exposes the geometry, per-kind records, stamp
+  and composite-MRU cells so the block-fusion engine can generate
+  the whole charge inline — called and inlined charges update the
+  same state and are therefore interchangeable mid-run (fused blocks
+  inline, the single-step fallback calls the probes).
 
 Counters are **bit-identical** to :class:`MemorySystem`: the same
 accesses, TLB/L1/L2 misses, stall cycles and distinct pages per kind
@@ -97,8 +109,13 @@ class FastMemorySystem:
     def __init__(self, params: CacheParams = None):
         self.params = params or CacheParams()
         p = self.params
-        # LRU sets as plain dicts: membership + del/reinsert is the
-        # move-to-end, popping the first key is the LRU eviction.
+        # LRU sets as plain dicts mapping key -> recency stamp: a hit
+        # overwrites the stamp (one dict store, no del/reinsert), and
+        # eviction removes the minimum-stamp key.  Stamps come from
+        # one shared monotone counter, so min-stamp == least recently
+        # touched — the same victim the OrderedDict sets of
+        # :class:`~repro.caches.cache.Cache` evict.
+        self._seq = [0]
         self._l1_sets = self._make_sets(p.l1_size, p.l1_assoc, p.block)
         self._l2_sets = self._make_sets(p.l2_size, p.l2_assoc, p.block)
         self._tag_sets = self._make_sets(p.tag_cache_size,
@@ -163,6 +180,7 @@ class FastMemorySystem:
          fig_shift) = self._geometry()
         wp_mru = self._wp_mru
         dp_mru = self._dp_mru
+        seq = self._seq
 
         def access(addr, size, write, kind):
             (ctr, pages, tlb_sets, tlb_mru, csets, cmask, cassoc,
@@ -177,15 +195,14 @@ class FastMemorySystem:
             else:
                 s = tlb_sets[page_no & tlb_mask]
                 if page_no in s:
-                    del s[page_no]
-                    s[page_no] = 0
+                    s[page_no] = seq[0] = seq[0] + 1
                     stall = 0
                 else:
                     ctr[1] += 1
                     stall = tlb_pen
                     if len(s) >= tlb_assoc:
-                        del s[next(iter(s))]
-                    s[page_no] = 0
+                        del s[min(s, key=s.get)]
+                    s[page_no] = seq[0] = seq[0] + 1
                 tlb_mru[0] = page_no
             bno = addr >> block_shift
             last_bno = (addr + size - 1) >> block_shift
@@ -195,24 +212,22 @@ class FastMemorySystem:
             while True:
                 s = csets[bno & cmask]
                 if bno in s:
-                    del s[bno]
-                    s[bno] = 0
+                    s[bno] = seq[0] = seq[0] + 1
                 else:
                     ctr[2] += 1
                     stall += l1_pen
                     s2 = l2_sets[bno & l2_mask]
                     if bno in s2:
-                        del s2[bno]
-                        s2[bno] = 0
+                        s2[bno] = seq[0] = seq[0] + 1
                     else:
                         ctr[3] += 1
                         stall += l2_pen
                         if len(s2) >= l2_assoc:
-                            del s2[next(iter(s2))]
-                        s2[bno] = 0
+                            del s2[min(s2, key=s2.get)]
+                        s2[bno] = seq[0] = seq[0] + 1
                     if len(s) >= cassoc:
-                        del s[next(iter(s))]
-                    s[bno] = 0
+                        del s[min(s, key=s.get)]
+                    s[bno] = seq[0] = seq[0] + 1
                 cmru[0] = bno
                 if bno == last_bno:
                     break
@@ -254,6 +269,7 @@ class FastMemorySystem:
         # exotic geometries).
         wp_mru = self._wp_mru
         dp_mru = self._dp_mru
+        seq = self._seq
         key_shift = min(tag_shift, block_shift)
         composite = key_shift <= fig_shift and block_shift < page_shift
 
@@ -276,14 +292,13 @@ class FastMemorySystem:
             if page_no != dtlb_mru[0]:
                 s = dtlb_sets[page_no & tlb_mask]
                 if page_no in s:
-                    del s[page_no]
-                    s[page_no] = 0
+                    s[page_no] = seq[0] = seq[0] + 1
                 else:
                     dctr[1] += 1
                     dctr[4] += tlb_pen
                     if len(s) >= tlb_assoc:
-                        del s[next(iter(s))]
-                    s[page_no] = 0
+                        del s[min(s, key=s.get)]
+                    s[page_no] = seq[0] = seq[0] + 1
                 dtlb_mru[0] = page_no
             first_bno = addr >> block_shift
             last_bno = (addr + 3) >> block_shift
@@ -295,24 +310,22 @@ class FastMemorySystem:
                 while True:
                     s = dsets[bno & dmask]
                     if bno in s:
-                        del s[bno]
-                        s[bno] = 0
+                        s[bno] = seq[0] = seq[0] + 1
                     else:
                         dctr[2] += 1
                         stall += l1_pen
                         s2 = l2_sets[bno & l2_mask]
                         if bno in s2:
-                            del s2[bno]
-                            s2[bno] = 0
+                            s2[bno] = seq[0] = seq[0] + 1
                         else:
                             dctr[3] += 1
                             stall += l2_pen
                             if len(s2) >= l2_assoc:
-                                del s2[next(iter(s2))]
-                            s2[bno] = 0
+                                del s2[min(s2, key=s2.get)]
+                            s2[bno] = seq[0] = seq[0] + 1
                         if len(s) >= dassoc:
-                            del s[next(iter(s))]
-                        s[bno] = 0
+                            del s[min(s, key=s.get)]
+                        s[bno] = seq[0] = seq[0] + 1
                     dmru[0] = bno
                     if bno == last_bno:
                         break
@@ -330,37 +343,34 @@ class FastMemorySystem:
             if page_no != ttlb_mru[0]:
                 s = ttlb_sets[page_no & tlb_mask]
                 if page_no in s:
-                    del s[page_no]
-                    s[page_no] = 0
+                    s[page_no] = seq[0] = seq[0] + 1
                 else:
                     tctr[1] += 1
                     tctr[4] += tlb_pen
                     if len(s) >= tlb_assoc:
-                        del s[next(iter(s))]
-                    s[page_no] = 0
+                        del s[min(s, key=s.get)]
+                    s[page_no] = seq[0] = seq[0] + 1
                 ttlb_mru[0] = page_no
             bno = taddr >> block_shift
             if bno != tmru[0]:
                 s = tsets[bno & tmask]
                 if bno in s:
-                    del s[bno]
-                    s[bno] = 0
+                    s[bno] = seq[0] = seq[0] + 1
                 else:
                     tctr[2] += 1
                     stall = l1_pen
                     s2 = l2_sets[bno & l2_mask]
                     if bno in s2:
-                        del s2[bno]
-                        s2[bno] = 0
+                        s2[bno] = seq[0] = seq[0] + 1
                     else:
                         tctr[3] += 1
                         stall += l2_pen
                         if len(s2) >= l2_assoc:
-                            del s2[next(iter(s2))]
-                        s2[bno] = 0
+                            del s2[min(s2, key=s2.get)]
+                        s2[bno] = seq[0] = seq[0] + 1
                     if len(s) >= tassoc:
-                        del s[next(iter(s))]
-                    s[bno] = 0
+                        del s[min(s, key=s.get)]
+                    s[bno] = seq[0] = seq[0] + 1
                     tctr[4] += stall
                 tmru[0] = bno
             # a spanning data access leaves the recency tail at the
@@ -387,6 +397,7 @@ class FastMemorySystem:
         self._reset_cells.append(fig_mru)
         wp_mru = self._wp_mru
         dp_mru = self._dp_mru
+        seq = self._seq
         # only the data probe gets a composite cell; it shares the
         # dtlb/L1 with the word/shadow probes and the generic entry
         # point, so each of those invalidates it on their full paths
@@ -410,14 +421,13 @@ class FastMemorySystem:
             if page_no != tlb_mru[0]:
                 s = tlb_sets[page_no & tlb_mask]
                 if page_no in s:
-                    del s[page_no]
-                    s[page_no] = 0
+                    s[page_no] = seq[0] = seq[0] + 1
                 else:
                     ctr[1] += 1
                     ctr[4] += tlb_pen
                     if len(s) >= tlb_assoc:
-                        del s[next(iter(s))]
-                    s[page_no] = 0
+                        del s[min(s, key=s.get)]
+                    s[page_no] = seq[0] = seq[0] + 1
                 tlb_mru[0] = page_no
             if first_bno == last_bno == cmru[0]:
                 pass
@@ -427,24 +437,22 @@ class FastMemorySystem:
                 while True:
                     s = csets[bno & cmask]
                     if bno in s:
-                        del s[bno]
-                        s[bno] = 0
+                        s[bno] = seq[0] = seq[0] + 1
                     else:
                         ctr[2] += 1
                         stall += l1_pen
                         s2 = l2_sets[bno & l2_mask]
                         if bno in s2:
-                            del s2[bno]
-                            s2[bno] = 0
+                            s2[bno] = seq[0] = seq[0] + 1
                         else:
                             ctr[3] += 1
                             stall += l2_pen
                             if len(s2) >= l2_assoc:
-                                del s2[next(iter(s2))]
-                            s2[bno] = 0
+                                del s2[min(s2, key=s2.get)]
+                            s2[bno] = seq[0] = seq[0] + 1
                         if len(s) >= cassoc:
-                            del s[next(iter(s))]
-                        s[bno] = 0
+                            del s[min(s, key=s.get)]
+                        s[bno] = seq[0] = seq[0] + 1
                     cmru[0] = bno
                     if bno == last_bno:
                         break
@@ -490,6 +498,75 @@ class FastMemorySystem:
         return (self.make_data_probe(), self._dp_mru,
                 self._kinds["data"][_R_CTR],
                 _ilog2(self.params.block))
+
+    def inline_env(self, tag_base, tag_shift):
+        """Everything a code generator needs to inline the charges.
+
+        The block-fusion engine's memory templates inline the whole
+        word+tag probe (and the plain data probe) into generated
+        source instead of calling a probe closure.  This returns the
+        geometry constants, the per-kind records, the shared
+        composite-MRU cells, the recency-stamp cell, and freshly
+        registered fig-page MRU cells — the same state the closure
+        probes close over, so inlined and called charges update
+        identical structures and stay counter-identical.
+
+        ``tag_base``/``tag_shift`` may be ``None`` (plain runs have
+        no tag leg); the tag fields are then ``None`` too.
+        """
+        from types import SimpleNamespace
+
+        (block_shift, page_shift, tlb_mask, tlb_assoc, l2_sets,
+         l2_mask, l2_assoc, tlb_pen, l1_pen, l2_pen,
+         fig_shift) = self._geometry()
+        env = SimpleNamespace(
+            block_shift=block_shift, page_shift=page_shift,
+            fig_shift=fig_shift, tlb_mask=tlb_mask,
+            tlb_assoc=tlb_assoc, l2_sets=l2_sets, l2_mask=l2_mask,
+            l2_assoc=l2_assoc, tlb_pen=tlb_pen, l1_pen=l1_pen,
+            l2_pen=l2_pen, seq=self._seq,
+            wp_mru=self._wp_mru, dp_mru=self._dp_mru,
+            tag_base=tag_base, tag_shift=tag_shift,
+        )
+        (dctr, dpages, dtlb_sets, dtlb_mru, dsets, dmask, dassoc,
+         dmru) = self._kinds["data"]
+        env.dctr = dctr
+        env.dpages_add = dpages.add
+        env.dtlb_sets = dtlb_sets
+        env.dtlb_mru = dtlb_mru
+        env.dsets = dsets
+        env.dmask = dmask
+        env.dassoc = dassoc
+        env.dmru = dmru
+        env.dfig_mru = [-1]
+        self._reset_cells.append(env.dfig_mru)
+        # data-probe composite validity (mirrors _make_kind_probe)
+        env.dp_composite = (block_shift <= fig_shift
+                            and block_shift < page_shift)
+        if tag_base is not None:
+            (tctr, tpages, ttlb_sets, ttlb_mru, tsets, tmask, tassoc,
+             tmru) = self._kinds["tag"]
+            env.tctr = tctr
+            env.tpages_add = tpages.add
+            env.ttlb_sets = ttlb_sets
+            env.ttlb_mru = ttlb_mru
+            env.tsets = tsets
+            env.tmask = tmask
+            env.tassoc = tassoc
+            env.tmru = tmru
+            env.tfig_mru = [-1]
+            self._reset_cells.append(env.tfig_mru)
+            # word-probe composite key/validity (mirrors
+            # make_word_probe)
+            env.wp_shift = min(tag_shift, block_shift)
+            env.wp_composite = (env.wp_shift <= fig_shift
+                                and block_shift < page_shift)
+        else:
+            env.tctr = env.tpages_add = env.ttlb_sets = None
+            env.ttlb_mru = env.tsets = env.tmask = None
+            env.tassoc = env.tmru = env.tfig_mru = None
+            env.wp_shift = env.wp_composite = None
+        return env
 
     # -- statistics --------------------------------------------------------
 

@@ -39,7 +39,7 @@ from repro.harness.runner import (
     source_digest,
 )
 from repro.machine.config import (
-    ENGINE_DECODED,
+    ENGINE_BLOCKS,
     ENGINES,
     MachineConfig,
     SafetyMode,
@@ -160,7 +160,7 @@ def run_benchmark_matrix_parallel(
         timing: bool = True,
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_DECODED) -> Dict[str, BenchmarkRun]:
+        engine: str = ENGINE_BLOCKS) -> Dict[str, BenchmarkRun]:
     """Sharded, cached equivalent of
     :func:`repro.harness.runner.run_benchmark_matrix`.
 
@@ -298,7 +298,7 @@ def sweep_objtable_elision_parallel(
         fractions: Iterable[float],
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_DECODED) -> Dict[float, float]:
+        engine: str = ENGINE_BLOCKS) -> Dict[float, float]:
     """Sharded, cached version of
     :func:`repro.harness.sweeps.sweep_objtable_elision`.
 
@@ -352,7 +352,7 @@ def sweep_tag_cache_parallel(
         encoding: str = "extern4",
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_DECODED
+        engine: str = ENGINE_BLOCKS
 ) -> Dict[Tuple[str, int], Dict[str, float]]:
     """Sharded, cached tag-cache size sensitivity sweep (E9).
 
@@ -425,7 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="on-disk result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk cache")
-    parser.add_argument("--engine", default=ENGINE_DECODED,
+    parser.add_argument("--engine", default=ENGINE_BLOCKS,
                         help="execution engine (decoded|blocks|legacy)")
     parser.add_argument("--sweep", choices=("objtable", "tagcache"),
                         default=None,

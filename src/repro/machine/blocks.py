@@ -17,13 +17,32 @@ runs:
    *block closure*: a generated function executing the whole block
    in a single call.  Hot handler shapes (``mov``, ``add``/``sub``,
    compares, non-propagating ALU, branches, ``call``/``callr``/
-   ``ret``) are inlined as source templates with their operands
-   passed in as closure cells; everything else (memory operations,
-   HardBound primitives, environment calls) calls the instruction's
-   decoded closure from :func:`repro.machine.decode.decode_program`
-   unchanged.  Generated code objects are cached by the block's
-   *shape signature*, so two blocks with the same instruction shapes
-   share one compilation.
+   ``ret``, and word ``load``/``store``) are inlined as source
+   templates with their operands passed in as closure cells;
+   everything else (sub-word memory operations, ablated or
+   substituted metadata engines, HardBound primitives, environment
+   calls) calls the instruction's decoded closure from
+   :func:`repro.machine.decode.decode_program` unchanged.  Generated
+   code objects are cached by the block's *shape signature*, so two
+   blocks with the same instruction shapes share one compilation.
+
+   The fused memory templates inline the whole load/store body:
+   effective-address arithmetic, the HardBound bounds check, the
+   flat-heap segment check (which doubles as arena routing — see
+   :mod:`repro.machine.memory`), the word-view access, the
+   :class:`~repro.caches.fast.FastMemorySystem` word+tag probe with
+   its composite-MRU short circuit, and the pointer-metadata
+   load/store.  **Template invariant:** every template is a
+   source-level copy of the corresponding decoded closure body —
+   same statement order, same counter increments, same trap types
+   and messages — so fused and single-stepped execution are
+   indistinguishable; the engine differential suite enforces this.
+   Memory templates are only emitted when the decoded engine would
+   take its own inline fast path (stock HardBound engine and
+   encoding, word access, no temporal tracker, no observer, timing
+   either off or on the fast memory model); every other
+   configuration falls back to the decoded closure, which keeps the
+   equivalence contract trivially.
 
 3. **Block-threaded dispatch** — the run loop executes one block per
    iteration: one table lookup, one limit compare against the whole
@@ -44,16 +63,19 @@ limit mid-flight.
 from __future__ import annotations
 
 import types
+from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
-from repro.isa.opcodes import Op, REG_RA
+from repro.isa.opcodes import Op, REG_FP, REG_RA, REG_SP
 from repro.isa.program import Program
-from repro.layout import MASK32, MAXINT
+from repro.layout import GLOBAL_BASE, HEAP_BASE, MASK32, MAXINT, STACK_TOP
 from repro.machine.errors import (
+    BoundsError,
     HaltSignal,
     InstructionLimitExceeded,
     InvalidCodePointerError,
     MemoryFault,
+    NonPointerError,
     Trap,
 )
 
@@ -240,6 +262,399 @@ class _Part:
         self.lines = lines
 
 
+class _FuseCtx:
+    """Build-time facts that select and specialize templates.
+
+    ``fuse_hb_mem`` / ``fuse_plain_mem`` hold exactly when the
+    decoded engine would take its own inline memory fast path, so a
+    fused memory template never covers a configuration the decoded
+    closures would route through generic engine calls.
+    """
+
+    __slots__ = ("observer_none", "full_mode", "fuse_hb_mem",
+                 "hb_timing", "fuse_plain_mem", "plain_timing")
+
+    def __init__(self, env):
+        self.observer_none = env.observer is None
+        self.full_mode = env.full_mode
+        mem_ok = (env.use_words and env.temporal_check is None
+                  and self.observer_none)
+        timing = env.memsys is not None
+        self.hb_timing = env.wprobe is not None
+        self.fuse_hb_mem = (mem_ok and env.inline_check
+                            and (not timing or self.hb_timing))
+        self.plain_timing = env.dprobe is not None
+        self.fuse_plain_mem = (mem_ok and env.hb is None
+                               and (not timing or self.plain_timing))
+
+
+# -- memory template fragments ----------------------------------------------
+
+# Mirrored line for line from the decoded closures (load_s_word and
+# friends in repro.machine.decode): same statement order, same counter
+# increments, same trap types/messages.  The segment check doubles as
+# flat-arena routing; unaligned words spill to the raw entry points.
+
+_HEAP = str(HEAP_BASE)
+_GLOB = str(GLOBAL_BASE)
+_STOP = str(STACK_TOP)
+
+def _lru_touch_lines(pad: str, sets: str, key: str, ctr: str,
+                     miss_idx: int, pen: str, assoc: str,
+                     mask: str) -> List[str]:
+    """One stamped-LRU structure touch (TLB leg shape): hit refreshes
+    the recency stamp, miss charges the penalty and evicts the
+    minimum-stamp way — identical bookkeeping to the closure probes
+    in :mod:`repro.caches.fast`."""
+    return [
+        pad + "s = %s[%s & %s]" % (sets, key, mask),
+        pad + "if %s in s:" % key,
+        pad + "    s[%s] = _q[0] = _q[0] + 1" % key,
+        pad + "else:",
+        pad + "    %s[%d] += 1" % (ctr, miss_idx),
+        pad + "    %s[4] += %s" % (ctr, pen),
+        pad + "    if len(s) >= %s:" % assoc,
+        pad + "        del s[min(s, key=s.get)]",
+        pad + "    s[%s] = _q[0] = _q[0] + 1" % key,
+    ]
+
+
+def _l1_walk_lines(pad: str, sets: str, ctr: str, assoc: str,
+                   mask: str, mru: str) -> List[str]:
+    """The L1(-or-tag-cache)+L2 block walk of the closure probes,
+    starting from locals ``bno``/``lb`` with ``stall`` accumulation."""
+    return [
+        pad + "stall = 0",
+        pad + "while True:",
+        pad + "    s = %s[bno & %s]" % (sets, mask),
+        pad + "    if bno in s:",
+        pad + "        s[bno] = _q[0] = _q[0] + 1",
+        pad + "    else:",
+        pad + "        %s[2] += 1" % ctr,
+        pad + "        stall += _1pen",
+        pad + "        s2 = _l2[bno & _l2m]",
+        pad + "        if bno in s2:",
+        pad + "            s2[bno] = _q[0] = _q[0] + 1",
+        pad + "        else:",
+        pad + "            %s[3] += 1" % ctr,
+        pad + "            stall += _2pen",
+        pad + "            if len(s2) >= _l2a:",
+        pad + "                del s2[min(s2, key=s2.get)]",
+        pad + "            s2[bno] = _q[0] = _q[0] + 1",
+        pad + "        if len(s) >= %s:" % assoc,
+        pad + "            del s[min(s, key=s.get)]",
+        pad + "        s[bno] = _q[0] = _q[0] + 1",
+        pad + "    %s[0] = bno" % mru,
+        pad + "    if bno == lb:",
+        pad + "        break",
+        pad + "    %s[5] += 1" % ctr,
+        pad + "    bno = lb",
+        pad + "%s[4] += stall" % ctr,
+    ]
+
+
+def _wprobe_inline_lines() -> List[str]:
+    """The whole FastMemorySystem word+tag charge, inlined.
+
+    Source-level copy of ``make_word_probe``'s closure body over the
+    same structures (handed out by ``FastMemorySystem.inline_env``):
+    composite-MRU skip, data leg (fig page, TLB, L1/L2 walk), tag
+    leg, and the composite-cell writeback.
+    """
+    lines = [
+        "wkey = ea >> _wps",
+        "if wkey == _wpm[0] and (ea + 3) >> _wps == wkey:",
+        "    _dct[0] += 1",
+        "    _tct[0] += 1",
+        "else:",
+        # -- data leg (4 bytes) --
+        "    _dct[0] += 1",
+        "    fp = ea >> _fs",
+        "    if fp != _dfg[0]:",
+        "        _dpg(fp)",
+        "        _dfg[0] = fp",
+        "    pno = ea >> _ps",
+        "    if pno != _dtm[0]:",
+    ]
+    lines += _lru_touch_lines("        ", "_dtl", "pno", "_dct", 1,
+                              "_tpen", "_tla", "_tlm")
+    lines += [
+        "        _dtm[0] = pno",
+        "    fb = ea >> _bs",
+        "    lb = (ea + 3) >> _bs",
+        "    if fb == lb == _dmr[0]:",
+        "        pass",
+        "    else:",
+        "        bno = fb",
+    ]
+    lines += _l1_walk_lines("        ", "_dse", "_dct", "_das", "_dma",
+                               "_dmr")
+    lines += [
+        # -- tag leg (1 byte, never spans) --
+        "    taddr = _tb + (ea >> _ts)",
+        "    _tct[0] += 1",
+        "    fp = taddr >> _fs",
+        "    if fp != _tfg[0]:",
+        "        _tpg(fp)",
+        "        _tfg[0] = fp",
+        "    pno = taddr >> _ps",
+        "    if pno != _ttm[0]:",
+    ]
+    lines += _lru_touch_lines("        ", "_ttl", "pno", "_tct", 1,
+                              "_tpen", "_tla", "_tlm")
+    lines += [
+        "        _ttm[0] = pno",
+        "    bno = taddr >> _bs",
+        "    if bno != _tmr[0]:",
+        "        s = _tse[bno & _tma]",
+        "        if bno in s:",
+        "            s[bno] = _q[0] = _q[0] + 1",
+        "        else:",
+        "            _tct[2] += 1",
+        "            stall = _1pen",
+        "            s2 = _l2[bno & _l2m]",
+        "            if bno in s2:",
+        "                s2[bno] = _q[0] = _q[0] + 1",
+        "            else:",
+        "                _tct[3] += 1",
+        "                stall += _2pen",
+        "                if len(s2) >= _l2a:",
+        "                    del s2[min(s2, key=s2.get)]",
+        "                s2[bno] = _q[0] = _q[0] + 1",
+        "            if len(s) >= _tas:",
+        "                del s[min(s, key=s.get)]",
+        "            s[bno] = _q[0] = _q[0] + 1",
+        "            _tct[4] += stall",
+        "        _tmr[0] = bno",
+        "    _wpm[0] = wkey if _cmpw and fb == lb else -1",
+        "    _dpm[0] = -1",
+    ]
+    return lines
+
+
+def _dprobe_inline_lines() -> List[str]:
+    """The plain 4-byte data charge, inlined.
+
+    Source-level copy of the ``_make_kind_probe("data", ...)``
+    closure body over the same structures.
+    """
+    lines = [
+        "fb = ea >> _bs",
+        "lb = (ea + 3) >> _bs",
+        "if fb == lb == _dpm[0]:",
+        "    _dct[0] += 1",
+        "else:",
+        "    _dct[0] += 1",
+        "    fp = ea >> _fs",
+        "    if fp != _dfg[0]:",
+        "        _dpg(fp)",
+        "        _dfg[0] = fp",
+        "    pno = ea >> _ps",
+        "    if pno != _dtm[0]:",
+    ]
+    lines += _lru_touch_lines("        ", "_dtl", "pno", "_dct", 1,
+                              "_tpen", "_tla", "_tlm")
+    lines += [
+        "        _dtm[0] = pno",
+        "    if fb == lb == _dmr[0]:",
+        "        pass",
+        "    else:",
+        "        bno = fb",
+    ]
+    lines += _l1_walk_lines("        ", "_dse", "_dct", "_das", "_dma",
+                               "_dmr")
+    lines += [
+        "    _dpm[0] = fb if _cmpd and fb == lb else -1",
+        "    _wpm[0] = -1",
+    ]
+    return lines
+
+
+#: FastMemorySystem word+tag charge, fully inlined (built once; the
+#: lines carry no per-instruction placeholders)
+_WPROBE_LINES = _wprobe_inline_lines()
+
+#: FastMemorySystem plain data charge, fully inlined
+_DPROBE_LINES = _dprobe_inline_lines()
+
+
+def _word_read_lines(acc: str) -> List[str]:
+    """Merged segment check + flat-arena word read into ``v``."""
+    return [
+        "end = ea + 4",
+        "if %s <= ea and end <= _mem.brk:" % _HEAP,
+        "    v = _heap[1][(ea - %s) >> 2] if not ea & 3 "
+        "else _rr(ea, 4)" % _HEAP,
+        "elif %s <= ea and end <= _gl:" % _GLOB,
+        "    v = _glob[1][(ea - %s) >> 2] if not ea & 3 "
+        "else _rr(ea, 4)" % _GLOB,
+        "elif _sb <= ea and end <= %s:" % _STOP,
+        "    v = _stk[1][(ea - _sb) >> 2] if not ea & 3 "
+        "else _rr(ea, 4)",
+        "else:",
+        "    raise _mf(ea, %r)" % acc,
+    ]
+
+
+def _word_write_lines(acc: str) -> List[str]:
+    """Merged segment check + flat-arena word write of ``v``."""
+    return [
+        "end = ea + 4",
+        "v = value[rd{i}]",
+        "if %s <= ea and end <= _mem.brk:" % _HEAP,
+        "    if ea & 3:",
+        "        _rw(ea, 4, v)",
+        "    else:",
+        "        _heap[1][(ea - %s) >> 2] = v" % _HEAP,
+        "elif %s <= ea and end <= _gl:" % _GLOB,
+        "    if ea & 3:",
+        "        _rw(ea, 4, v)",
+        "    else:",
+        "        _glob[1][(ea - %s) >> 2] = v" % _GLOB,
+        "elif _sb <= ea and end <= %s:" % _STOP,
+        "    if ea & 3:",
+        "        _rw(ea, 4, v)",
+        "    else:",
+        "        _stk[1][(ea - _sb) >> 2] = v",
+        "else:",
+        "    raise _mf(ea, %r)" % acc,
+    ]
+
+
+def _hb_check_lines(acc: str, si: bool, frame: bool,
+                    full: bool) -> List[str]:
+    """Figure 3C/D bounds check, specialized for the operand form."""
+    lines = ["b = rbase[rs{i}]", "bd = rbound[rs{i}]"]
+    if si:
+        lines += [
+            "if not (b or bd):",
+            "    b = rbase[rt{i}]",
+            "    bd = rbound[rt{i}]",
+        ]
+    lines += [
+        "if b or bd:",
+        "    _hbs.checks += 1",
+        "    if ea < b or ea >= bd:",
+        "        raise _be(ea, b, bd, %r)" % acc,
+    ]
+    # frame-register accesses without bounds are compiler-owned and
+    # exempt; the branch is resolved at template-build time
+    if not frame:
+        if full:
+            lines += ["else:",
+                      "    raise _npe(value[rs{i}], %r)" % acc]
+        else:
+            lines += ["else:",
+                      "    _hbs.nonpointer_derefs += 1"]
+    return lines
+
+
+def _load_meta_lines(timing: bool) -> List[str]:
+    """HardBound word-load metadata path (load_word_meta inlined)."""
+    lines = [
+        "meta = _mg(ea & -4)",
+        "if meta is None:",
+        "    value[rd{i}] = v",
+        "    rbase[rd{i}] = 0",
+        "    rbound[rd{i}] = 0",
+        "else:",
+        "    mb, mbd = meta",
+        "    _hbs.pointer_loads += 1",
+        "    if _isc(v, mb, mbd):",
+        "        _hbs.compressed_loads += 1",
+        "    else:",
+        "        _hbs.meta_uops += 1",
+    ]
+    if timing:
+        lines.append("        _sp(ea & -4)")
+    lines += [
+        "    value[rd{i}] = v",
+        "    rbase[rd{i}] = mb",
+        "    rbound[rd{i}] = mbd",
+    ]
+    return lines
+
+
+def _store_meta_lines(timing: bool) -> List[str]:
+    """HardBound word-store metadata path (store_word_meta inlined)."""
+    lines = [
+        "key = ea & -4",
+        "mb = rbase[rd{i}]",
+        "mbd = rbound[rd{i}]",
+        "if mb == 0 and mbd == 0:",
+        "    _mp(key, None)",
+        "else:",
+        "    _meta[key] = (mb, mbd)",
+        "    _hbs.pointer_stores += 1",
+        "    if _isc(v, mb, mbd):",
+        "        _hbs.compressed_stores += 1",
+        "    else:",
+        "        _hbs.meta_uops += 1",
+    ]
+    if timing:
+        lines.append("        _sp(key)")
+    return lines
+
+
+def _mem_part(instr, i: int, ctx: _FuseCtx) -> Optional[_Part]:
+    """Fused word load/store template, or ``None`` for the closure.
+
+    Emitted only for the shapes the decoded engine fast-paths itself
+    (word size, base-register form present); the template body is a
+    source-level copy of the matching decoded closure.
+    """
+    if instr.size != 4 or instr.rs is None:
+        return None
+    load = instr.op is Op.LOAD
+    acc = "read" if load else "write"
+    si = instr.rt is not None
+    params = [("rd%d" % i, instr.rd), ("rs%d" % i, instr.rs)]
+    if si:
+        params += [("rt%d" % i, instr.rt), ("sc%d" % i, instr.scale)]
+        ea_line = ("ea = (value[rs{i}] + value[rt{i}] * sc{i} + k{i})"
+                   " & %s" % _M32)
+    else:
+        ea_line = "ea = (value[rs{i}] + k{i}) & %s" % _M32
+    params.append(("k%d" % i, instr.disp))
+    if ctx.fuse_hb_mem:
+        frame = instr.rs in (REG_SP, REG_FP)
+        timing = ctx.hb_timing
+        shape = "%shb_%s%d%d%d" % ("ld" if load else "st",
+                                   "si" if si else "s",
+                                   frame, ctx.full_mode, timing)
+        lines = [ea_line]
+        lines += _hb_check_lines(acc, si, frame, ctx.full_mode)
+        if load:
+            lines += _word_read_lines(acc)
+            if timing:
+                lines += _WPROBE_LINES
+            lines += _load_meta_lines(timing)
+        else:
+            lines += _word_write_lines(acc)
+            if timing:
+                lines += _WPROBE_LINES
+            lines += _store_meta_lines(timing)
+        return _Part(shape, params, lines)
+    if ctx.fuse_plain_mem:
+        timing = ctx.plain_timing
+        shape = "%spl_%s%d" % ("ld" if load else "st",
+                               "si" if si else "s", timing)
+        lines = [ea_line]
+        if load:
+            lines += _word_read_lines(acc)
+            if timing:
+                lines += _DPROBE_LINES
+            lines += ["value[rd{i}] = v",
+                      "rbase[rd{i}] = 0",
+                      "rbound[rd{i}] = 0"]
+        else:
+            lines += _word_write_lines(acc)
+            if timing:
+                lines += _DPROBE_LINES
+        return _Part(shape, params, lines)
+    return None
+
+
 def _closure_part(i: int, fn, terminator: bool,
                   term_pc: int) -> _Part:
     if terminator:
@@ -248,8 +663,8 @@ def _closure_part(i: int, fn, terminator: bool,
     return _Part("f", [("f%d" % i, fn)], ["f{i}(0)".format(i=i)])
 
 
-def _template_part(instr, i: int, pc: int, observer_none: bool,
-                   full_mode: bool) -> Optional[_Part]:
+def _template_part(instr, i: int, pc: int,
+                   ctx: _FuseCtx) -> Optional[_Part]:
     """Template for one instruction, or ``None`` to use its closure.
 
     Every template is a source-level copy of the corresponding
@@ -257,7 +672,11 @@ def _template_part(instr, i: int, pc: int, observer_none: bool,
     the engine differential suite enforces the equivalence.
     """
     op = instr.op
+    observer_none = ctx.observer_none
+    full_mode = ctx.full_mode
     rd, rs, rt = instr.rd, instr.rs, instr.rt
+    if op in (Op.LOAD, Op.STORE):
+        return _mem_part(instr, i, ctx)
     if op is Op.MOV:
         if rs is not None:
             return _Part("movrr", [("rd%d" % i, rd), ("rs%d" % i, rs)],
@@ -394,8 +813,41 @@ _fuse_cache: Dict[Tuple[str, ...], tuple] = {}
 #: block code object -> {line number -> instruction offset}
 _line_maps: Dict[object, Dict[int, int]] = {}
 
-#: shared environment parameters appended to every fuser signature
-_ENV_PARAMS = ("value", "rbase", "rbound", "_n", "_icpe")
+#: template parameter name -> FastMemorySystem.inline_env field.
+#: Single source of truth for the fast memory-model inline
+#: environment (geometry, per-kind records, stamp and composite
+#: cells); the fuser signature and the per-block value vector are
+#: both derived from it, so a field can only be added or renamed in
+#: one place.
+_MI_PARAMS = (
+    ("_q", "seq"), ("_bs", "block_shift"), ("_ps", "page_shift"),
+    ("_fs", "fig_shift"), ("_tlm", "tlb_mask"), ("_tla", "tlb_assoc"),
+    ("_l2", "l2_sets"), ("_l2m", "l2_mask"), ("_l2a", "l2_assoc"),
+    ("_tpen", "tlb_pen"), ("_1pen", "l1_pen"), ("_2pen", "l2_pen"),
+    ("_dct", "dctr"), ("_dpg", "dpages_add"), ("_dtl", "dtlb_sets"),
+    ("_dtm", "dtlb_mru"), ("_dse", "dsets"), ("_dma", "dmask"),
+    ("_das", "dassoc"), ("_dmr", "dmru"), ("_dfg", "dfig_mru"),
+    ("_tct", "tctr"), ("_tpg", "tpages_add"), ("_ttl", "ttlb_sets"),
+    ("_ttm", "ttlb_mru"), ("_tse", "tsets"), ("_tma", "tmask"),
+    ("_tas", "tassoc"), ("_tmr", "tmru"), ("_tfg", "tfig_mru"),
+    ("_tb", "tag_base"), ("_ts", "tag_shift"),
+    ("_wpm", "wp_mru"), ("_wps", "wp_shift"), ("_cmpw", "wp_composite"),
+    ("_dpm", "dp_mru"), ("_cmpd", "dp_composite"),
+)
+
+#: shared environment parameters appended to every fuser signature:
+#: the register arrays, program length and code-pointer trap, then
+#: the memory environment (arena cells, segment bounds, raw spill
+#: entry points), the HardBound metadata environment, the fast
+#: memory-model inline environment, and the trap constructors the
+#: memory templates raise
+_ENV_PARAMS = (
+    "value", "rbase", "rbound", "_n", "_icpe",
+    "_mem", "_heap", "_glob", "_stk", "_gl", "_sb", "_rr", "_rw",
+    "_hbs", "_meta", "_mg", "_mp", "_isc", "_sp",
+) + tuple(name for name, _ in _MI_PARAMS) + (
+    "_be", "_npe", "_mf",
+)
 
 
 def _compile_fuser(signature: Tuple[str, ...],
@@ -428,27 +880,50 @@ def _compile_fuser(signature: Tuple[str, ...],
     return entry
 
 
-def build_block_table(cpu, code: list) -> list:
+def build_block_table(cpu, code: list, env=None) -> list:
     """Fuse every CFG block of the cpu's program over its closures.
 
     Returns a pc-indexed table: ``None`` at non-block pcs, else
-    ``(block_closure, length, fallthrough_pc, last_pc)``.
+    ``(block_closure, length, fallthrough_pc, last_pc)``.  Pass the
+    ``env`` the closures were decoded with (see
+    :func:`repro.machine.decode.bind_env`) so fused memory templates
+    share the decoded closures' probe and counter state.
     """
+    from repro.caches.fast import FastMemorySystem
+    from repro.machine.decode import bind_env
+
+    if env is None:
+        env = bind_env(cpu)
     program = cpu.program
     instrs = program.instrs
-    observer_none = cpu.observer is None
-    full_mode = cpu.full_mode
-    regs = cpu.regs
-    env = (regs.value, regs.base, regs.bound, len(instrs),
-           InvalidCodePointerError)
+    ctx = _FuseCtx(env)
+    if isinstance(env.memsys, FastMemorySystem):
+        mi = env.memsys.inline_env(env.tag_base, env.tag_shift)
+    else:
+        mi = SimpleNamespace(**{field: None for _, field in _MI_PARAMS})
+    env_map = {
+        "value": env.value, "rbase": env.rbase, "rbound": env.rbound,
+        "_n": len(instrs), "_icpe": InvalidCodePointerError,
+        "_mem": env.memory, "_heap": env.heap_cell,
+        "_glob": env.glob_cell, "_stk": env.stack_cell,
+        "_gl": env.globals_limit, "_sb": env.stack_base,
+        "_rr": env.raw_read, "_rw": env.raw_write,
+        "_hbs": env.hb_stats, "_meta": env.meta_map,
+        "_mg": env.meta_get, "_mp": env.meta_pop,
+        "_isc": env.is_comp, "_sp": env.sprobe,
+        "_be": BoundsError, "_npe": NonPointerError,
+        "_mf": MemoryFault,
+    }
+    for name, field in _MI_PARAMS:
+        env_map[name] = getattr(mi, field)
+    env_vals = tuple(env_map[name] for name in _ENV_PARAMS)
     table: list = [None] * len(code)
     for block in build_cfg(program):
         start, length = block.start, block.length
         parts: List[_Part] = []
         for offset in range(length):
             pc = start + offset
-            part = _template_part(instrs[pc], offset, pc,
-                                  observer_none, full_mode)
+            part = _template_part(instrs[pc], offset, pc, ctx)
             if part is None:
                 part = _closure_part(offset, code[pc],
                                      offset == length - 1, pc)
@@ -456,7 +931,7 @@ def build_block_table(cpu, code: list) -> list:
         signature = tuple(part.shape for part in parts)
         fuse, _block_code = _compile_fuser(signature, parts)
         args = [value for part in parts for _, value in part.params]
-        fn = fuse(*(args + list(env)))
+        fn = fuse(*(args + list(env_vals)))
         table[start] = (fn, length, start + length, start + length - 1)
     return table
 
@@ -493,10 +968,11 @@ def execute_blocks(cpu):
     are single-stepped on the underlying decoded closures.
     """
     from repro.machine.cpu import RunResult
-    from repro.machine.decode import decode_program
+    from repro.machine.decode import bind_env, decode_program
 
-    code = decode_program(cpu)
-    table = build_block_table(cpu, code)
+    env = bind_env(cpu)
+    code = decode_program(cpu, env)
+    table = build_block_table(cpu, code, env)
     n = len(code)
     limit = cpu.config.max_instructions
     pc = cpu.pc

@@ -57,14 +57,15 @@ class MachineConfig:
         Whether to run the cache/TLB timing model.  Functional tests
         turn it off for speed.
     ``engine``
-        Execution engine: ``"decoded"`` (default) pre-decodes the
-        program into per-instruction closures with operand forms
-        resolved once; ``"blocks"`` additionally fuses straight-line
-        runs into basic-block superinstructions and pairs them with
-        the fast memory-timing model
-        (:class:`~repro.caches.fast.FastMemorySystem`); ``"legacy"``
-        is the original per-instruction dispatch loop, retained for
-        differential testing.  All three produce bit-identical
+        Execution engine: ``"blocks"`` (default) fuses straight-line
+        runs into basic-block superinstructions — including the word
+        load/store bodies over the flat-bytearray heap — and pairs
+        them with the fast memory-timing model
+        (:class:`~repro.caches.fast.FastMemorySystem`); ``"decoded"``
+        pre-decodes the program into per-instruction closures with
+        operand forms resolved once; ``"legacy"`` is the original
+        per-instruction dispatch loop, retained for differential
+        testing.  All three produce bit-identical
         :class:`~repro.machine.cpu.RunResult` statistics.
     ``retain_cpu``
         Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
@@ -80,7 +81,7 @@ class MachineConfig:
     check_uop: bool = False
     check_access_extent: bool = False
     timing: bool = True
-    engine: str = ENGINE_DECODED
+    engine: str = ENGINE_BLOCKS
     retain_cpu: bool = False
     stack_size: int = STACK_SIZE
     max_instructions: int = 200_000_000

@@ -218,8 +218,8 @@ class CPU:
         """Execute until ``halt``; traps raise annotated exceptions.
 
         Dispatches to the engine selected by ``config.engine``: the
-        pre-decoded closure-threaded engine (default), the
-        basic-block fusion engine, or the legacy per-instruction
+        basic-block fusion engine (default), the pre-decoded
+        closure-threaded engine, or the legacy per-instruction
         dispatch loop.  All are bit-identical in results and trap
         behaviour.
         """

@@ -29,6 +29,7 @@ next to the millions of instructions a workload executes.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Callable, List, Optional
 
 from repro.caches.fast import FastMemorySystem
@@ -39,8 +40,6 @@ from repro.layout import (
     HEAP_BASE,
     MASK32,
     MAXINT,
-    PAGE_SHIFT,
-    PAGE_SIZE,
     SHADOW_SPACE_BASE,
     STACK_TOP,
     TAG1_BASE,
@@ -122,91 +121,113 @@ _NONPROP_FNS = {
 _SIGNED_CMPS = frozenset({Op.SLT, Op.SLE, Op.SGT, Op.SGE})
 
 
-def decode_program(cpu) -> List[DecodedOp]:
-    """Specialize ``cpu.program`` into per-instruction closures.
+def bind_env(cpu) -> SimpleNamespace:
+    """Bind the per-run state the execution engines close over.
 
-    All per-run state (register arrays, memory, metadata engine,
-    observers) is bound into closure cells here, once, so the
-    closures touch no ``self`` attributes on the hot path.
+    Shared between :func:`decode_program` and the block fuser
+    (:mod:`repro.machine.blocks`) so both reference the *same* probe
+    closures, counter cells and memory arena cells — a prerequisite
+    for the counter bit-identity the differential suite enforces
+    (two independently created probes would still agree, but sharing
+    one set makes the equivalence structural rather than incidental).
     """
+    env = SimpleNamespace()
     regs = cpu.regs
-    value = regs.value
-    rbase = regs.base
-    rbound = regs.bound
+    env.value = regs.value
+    env.rbase = regs.base
+    env.rbound = regs.bound
     memory = cpu.memory
-    mem_read = memory.read
-    mem_write = memory.write
-    mem_sbrk = memory.sbrk
-    read_cstring = memory.read_cstring
-    # word-access fast path state: the page store and the fixed segment
-    # bounds (only the heap break moves after construction, so it is
-    # re-read from ``memory`` on every access)
-    pages = memory._pages
-    globals_limit = memory.globals_limit
-    stack_base = memory.stack_base
-    raw_read = memory.raw_read
-    raw_write = memory.raw_write
-    from_bytes = int.from_bytes
-    page_span = PAGE_SIZE - 4
-    n_instrs = len(cpu.program.instrs)
-    full_mode = cpu.full_mode
+    env.memory = memory
+    env.mem_read = memory.read
+    env.mem_write = memory.write
+    env.mem_sbrk = memory.sbrk
+    env.read_cstring = memory.read_cstring
+    env.raw_read = memory.raw_read
+    env.raw_write = memory.raw_write
+    # flat-heap fast path state: the arena cells (stable across heap
+    # growth — see repro.machine.memory) and the fixed segment bounds
+    # (only the heap break moves after construction, so it is re-read
+    # from ``memory`` on every access)
+    env.heap_cell = memory.heap_cell
+    env.glob_cell = memory.globals_cell
+    env.stack_cell = memory.stack_cell
+    env.globals_limit = memory.globals_limit
+    env.stack_base = memory.stack_base
+    # word-view access needs native little-endian casts on all three
+    # arenas (true everywhere but big-endian hosts)
+    env.use_words = (memory.heap_cell[1] is not None
+                     and memory.globals_cell[1] is not None
+                     and memory.stack_cell[1] is not None)
+    env.n_instrs = len(cpu.program.instrs)
+    env.full_mode = cpu.full_mode
     temporal = cpu.temporal
-    temporal_check = temporal.check if temporal is not None else None
-    observer = cpu.observer
+    env.temporal = temporal
+    env.temporal_check = temporal.check if temporal is not None else None
+    env.observer = cpu.observer
     memsys = cpu.memsys
-    data_access = memsys.access if memsys is not None else None
+    env.memsys = memsys
+    env.data_access = memsys.access if memsys is not None else None
 
     hb = cpu.hb
+    env.hb = hb
     if hb is not None:
-        hb_stats = hb.stats
-        hb_check = hb.check
-        hb_load_word = hb.load_word_meta
-        hb_load_sub = hb.load_sub_meta
-        hb_store_word = hb.store_word_meta
-        hb_store_sub = hb.store_sub_meta
-        meta_map = hb.meta._meta
-        meta_get = meta_map.get
-        meta_pop = meta_map.pop
+        env.hb_stats = hb.stats
+        env.hb_check = hb.check
+        env.hb_load_word = hb.load_word_meta
+        env.hb_load_sub = hb.load_sub_meta
+        env.hb_store_word = hb.store_word_meta
+        env.hb_store_sub = hb.store_sub_meta
+        env.meta_map = hb.meta._meta
+        env.meta_get = env.meta_map.get
+        env.meta_pop = env.meta_map.pop
         enc = hb.encoding
         # stock encodings get a flat is_compressible closure and
         # inline tag-address arithmetic; subclassed encodings keep
         # their methods and take the generic path
         comp_inline = make_inline_compressible(enc)
-        is_comp = comp_inline if comp_inline is not None \
+        env.is_comp = comp_inline if comp_inline is not None \
             else enc.is_compressible
         if comp_inline is not None:
-            tag_base, tag_shift = ((TAG4_BASE, TAG4_SHIFT)
-                                   if enc.tag_bits == 4
-                                   else (TAG1_BASE, TAG1_SHIFT))
+            env.tag_base, env.tag_shift = ((TAG4_BASE, TAG4_SHIFT)
+                                           if enc.tag_bits == 4
+                                           else (TAG1_BASE, TAG1_SHIFT))
         else:
-            tag_base = tag_shift = None
+            env.tag_base = env.tag_shift = None
         # the stock engine with paper-default knobs and a stock
         # encoding is inlined into the memory closures; ablations and
         # substituted engines/encodings are not
-        inline_check = (type(hb) is HardBoundEngine and not hb.check_uop
-                        and not hb.check_access_extent
-                        and tag_base is not None)
+        env.inline_check = (type(hb) is HardBoundEngine
+                            and not hb.check_uop
+                            and not hb.check_access_extent
+                            and env.tag_base is not None)
     else:
-        hb_stats = None
-        inline_check = False
-        tag_base = tag_shift = None
+        env.hb_stats = None
+        env.hb_check = env.hb_load_word = env.hb_load_sub = None
+        env.hb_store_word = env.hb_store_sub = None
+        env.meta_map = env.meta_get = env.meta_pop = None
+        env.is_comp = None
+        env.inline_check = False
+        env.tag_base = env.tag_shift = None
 
     # the fast timing model hands out single-call probes for the hot
     # access shapes (plus the cells to inline their composite-hit
     # path); the classic model keeps its generic entry point
     if memsys is not None and isinstance(memsys, FastMemorySystem):
-        dprobe, dp_mru, dp_ctr, dp_shift = memsys.data_probe_parts()
-        sprobe = memsys.make_shadow_probe() if hb is not None else None
-        if inline_check:
-            (wprobe, wp_mru, wp_dctr, wp_tctr,
-             wp_shift) = memsys.word_probe_parts(tag_base, tag_shift)
+        (env.dprobe, env.dp_mru, env.dp_ctr,
+         env.dp_shift) = memsys.data_probe_parts()
+        env.sprobe = memsys.make_shadow_probe() if hb is not None \
+            else None
+        if env.inline_check:
+            (env.wprobe, env.wp_mru, env.wp_dctr, env.wp_tctr,
+             env.wp_shift) = memsys.word_probe_parts(env.tag_base,
+                                                     env.tag_shift)
         else:
-            wprobe = None
+            env.wprobe = None
     else:
-        dprobe = sprobe = wprobe = None
-        dp_mru = dp_ctr = dp_shift = None
-    if wprobe is None:
-        wp_mru = wp_dctr = wp_tctr = wp_shift = None
+        env.dprobe = env.sprobe = env.wprobe = None
+        env.dp_mru = env.dp_ctr = env.dp_shift = None
+    if env.wprobe is None:
+        env.wp_mru = env.wp_dctr = env.wp_tctr = env.wp_shift = None
 
     out_append = cpu.output.append
     capture = cpu.config.capture_output
@@ -223,6 +244,69 @@ def decode_program(cpu) -> List[DecodedOp]:
     else:
         def emit(text):
             pass
+    env.emit = emit
+    return env
+
+
+def decode_program(cpu, env: SimpleNamespace = None) -> List[DecodedOp]:
+    """Specialize ``cpu.program`` into per-instruction closures.
+
+    All per-run state (register arrays, memory arenas, metadata
+    engine, observers) is bound into closure cells here, once, so the
+    closures touch no ``self`` attributes on the hot path.  Pass a
+    pre-built ``env`` (from :func:`bind_env`) to share the bound
+    state with the block fuser.
+    """
+    if env is None:
+        env = bind_env(cpu)
+    value = env.value
+    rbase = env.rbase
+    rbound = env.rbound
+    memory = env.memory
+    mem_read = env.mem_read
+    mem_write = env.mem_write
+    mem_sbrk = env.mem_sbrk
+    read_cstring = env.read_cstring
+    raw_read = env.raw_read
+    raw_write = env.raw_write
+    heap_cell = env.heap_cell
+    glob_cell = env.glob_cell
+    stack_cell = env.stack_cell
+    globals_limit = env.globals_limit
+    stack_base = env.stack_base
+    use_words = env.use_words
+    n_instrs = env.n_instrs
+    full_mode = env.full_mode
+    temporal = env.temporal
+    temporal_check = env.temporal_check
+    observer = env.observer
+    memsys = env.memsys
+    data_access = env.data_access
+    hb = env.hb
+    hb_stats = env.hb_stats
+    hb_check = env.hb_check
+    hb_load_word = env.hb_load_word
+    hb_load_sub = env.hb_load_sub
+    hb_store_word = env.hb_store_word
+    hb_store_sub = env.hb_store_sub
+    meta_map = env.meta_map
+    meta_get = env.meta_get
+    meta_pop = env.meta_pop
+    is_comp = env.is_comp
+    tag_base = env.tag_base
+    tag_shift = env.tag_shift
+    inline_check = env.inline_check
+    dprobe = env.dprobe
+    dp_mru = env.dp_mru
+    dp_ctr = env.dp_ctr
+    dp_shift = env.dp_shift
+    sprobe = env.sprobe
+    wprobe = env.wprobe
+    wp_mru = env.wp_mru
+    wp_dctr = env.wp_dctr
+    wp_tctr = env.wp_tctr
+    wp_shift = env.wp_shift
+    emit = env.emit
 
     # -- shared sub-builders -------------------------------------------
 
@@ -520,7 +604,6 @@ def decode_program(cpu) -> List[DecodedOp]:
 
     # -- memory --------------------------------------------------------
 
-    pmask = PAGE_SIZE - 1
     wmask = ~3
 
     def build_load(instr):
@@ -530,8 +613,12 @@ def decode_program(cpu) -> List[DecodedOp]:
         # hot paths: stock engine, word access, base-register forms.
         # Memory.read and HardBoundEngine.load_word_meta are inlined
         # (same statement order, trap messages and stats updates); the
-        # differential test keeps them honest.
-        if checked and inline_check and size == 4:
+        # differential test keeps them honest.  The merged segment
+        # check doubles as arena routing: an address that passes a
+        # check is inside that segment's flat arena, so the word view
+        # is indexed with no further bounds test (unaligned accesses
+        # take the raw_read spill path).
+        if checked and inline_check and size == 4 and use_words:
             is_frame = rs in (REG_SP, REG_FP)
             if rt is None:
                 def load_s_word(pc):
@@ -549,18 +636,17 @@ def decode_program(cpu) -> List[DecodedOp]:
                     if temporal_check is not None:
                         temporal_check(ea, 4)
                     end = ea + 4
-                    if not ((HEAP_BASE <= ea and end <= memory.brk)
-                            or (GLOBAL_BASE <= ea
-                                and end <= globals_limit)
-                            or (stack_base <= ea and end <= STACK_TOP)):
-                        raise MemoryFault(ea, "read")
-                    off = ea & pmask
-                    if off <= page_span:
-                        page = pages.get(ea >> PAGE_SHIFT)
-                        v = (0 if page is None
-                             else from_bytes(page[off:off + 4], "little"))
+                    if HEAP_BASE <= ea and end <= memory.brk:
+                        v = (heap_cell[1][(ea - HEAP_BASE) >> 2]
+                             if not ea & 3 else raw_read(ea, 4))
+                    elif GLOBAL_BASE <= ea and end <= globals_limit:
+                        v = (glob_cell[1][(ea - GLOBAL_BASE) >> 2]
+                             if not ea & 3 else raw_read(ea, 4))
+                    elif stack_base <= ea and end <= STACK_TOP:
+                        v = (stack_cell[1][(ea - stack_base) >> 2]
+                             if not ea & 3 else raw_read(ea, 4))
                     else:
-                        v = raw_read(ea, 4)
+                        raise MemoryFault(ea, "read")
                     if wprobe is not None:
                         wkey = ea >> wp_shift
                         if wkey == wp_mru[0] \
@@ -619,17 +705,17 @@ def decode_program(cpu) -> List[DecodedOp]:
                 if temporal_check is not None:
                     temporal_check(ea, 4)
                 end = ea + 4
-                if not ((HEAP_BASE <= ea and end <= memory.brk)
-                        or (GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (stack_base <= ea and end <= STACK_TOP)):
-                    raise MemoryFault(ea, "read")
-                off = ea & pmask
-                if off <= page_span:
-                    page = pages.get(ea >> PAGE_SHIFT)
-                    v = (0 if page is None
-                         else from_bytes(page[off:off + 4], "little"))
+                if HEAP_BASE <= ea and end <= memory.brk:
+                    v = (heap_cell[1][(ea - HEAP_BASE) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
+                elif GLOBAL_BASE <= ea and end <= globals_limit:
+                    v = (glob_cell[1][(ea - GLOBAL_BASE) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
+                elif stack_base <= ea and end <= STACK_TOP:
+                    v = (stack_cell[1][(ea - stack_base) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
                 else:
-                    v = raw_read(ea, 4)
+                    raise MemoryFault(ea, "read")
                 if wprobe is not None:
                     wkey = ea >> wp_shift
                     if wkey == wp_mru[0] \
@@ -666,21 +752,22 @@ def decode_program(cpu) -> List[DecodedOp]:
                 rbound[rd] = mbd
             return load_si_word
 
-        if hb is None and size == 4 and rs is not None and rt is None:
+        if hb is None and size == 4 and rs is not None and rt is None \
+                and use_words:
             def load_s_word_plain(pc):
                 ea = (value[rs] + disp) & MASK32
                 end = ea + 4
-                if not ((HEAP_BASE <= ea and end <= memory.brk)
-                        or (GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (stack_base <= ea and end <= STACK_TOP)):
-                    raise MemoryFault(ea, "read")
-                off = ea & pmask
-                if off <= page_span:
-                    page = pages.get(ea >> PAGE_SHIFT)
-                    v = (0 if page is None
-                         else from_bytes(page[off:off + 4], "little"))
+                if HEAP_BASE <= ea and end <= memory.brk:
+                    v = (heap_cell[1][(ea - HEAP_BASE) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
+                elif GLOBAL_BASE <= ea and end <= globals_limit:
+                    v = (glob_cell[1][(ea - GLOBAL_BASE) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
+                elif stack_base <= ea and end <= STACK_TOP:
+                    v = (stack_cell[1][(ea - stack_base) >> 2]
+                         if not ea & 3 else raw_read(ea, 4))
                 else:
-                    v = raw_read(ea, 4)
+                    raise MemoryFault(ea, "read")
                 if dprobe is not None:
                     bkey = ea >> dp_shift
                     if bkey == dp_mru[0] \
@@ -730,7 +817,7 @@ def decode_program(cpu) -> List[DecodedOp]:
         rd, rs, rt = instr.rd, instr.rs, instr.rt
         scale, disp, size = instr.scale, instr.disp, instr.size
         checked = hb is not None and rs is not None
-        if checked and inline_check and size == 4:
+        if checked and inline_check and size == 4 and use_words:
             is_frame = rs in (REG_SP, REG_FP)
             if rt is None:
                 def store_s_word(pc):
@@ -748,22 +835,24 @@ def decode_program(cpu) -> List[DecodedOp]:
                     if temporal_check is not None:
                         temporal_check(ea, 4)
                     end = ea + 4
-                    if not ((HEAP_BASE <= ea and end <= memory.brk)
-                            or (GLOBAL_BASE <= ea
-                                and end <= globals_limit)
-                            or (stack_base <= ea and end <= STACK_TOP)):
-                        raise MemoryFault(ea, "write")
                     v = value[rd]
-                    off = ea & pmask
-                    if off <= page_span:
-                        pno = ea >> PAGE_SHIFT
-                        page = pages.get(pno)
-                        if page is None:
-                            page = bytearray(PAGE_SIZE)
-                            pages[pno] = page
-                        page[off:off + 4] = v.to_bytes(4, "little")
+                    if HEAP_BASE <= ea and end <= memory.brk:
+                        if ea & 3:
+                            raw_write(ea, 4, v)
+                        else:
+                            heap_cell[1][(ea - HEAP_BASE) >> 2] = v
+                    elif GLOBAL_BASE <= ea and end <= globals_limit:
+                        if ea & 3:
+                            raw_write(ea, 4, v)
+                        else:
+                            glob_cell[1][(ea - GLOBAL_BASE) >> 2] = v
+                    elif stack_base <= ea and end <= STACK_TOP:
+                        if ea & 3:
+                            raw_write(ea, 4, v)
+                        else:
+                            stack_cell[1][(ea - stack_base) >> 2] = v
                     else:
-                        raw_write(ea, 4, v)
+                        raise MemoryFault(ea, "write")
                     if wprobe is not None:
                         wkey = ea >> wp_shift
                         if wkey == wp_mru[0] \
@@ -818,21 +907,24 @@ def decode_program(cpu) -> List[DecodedOp]:
                 if temporal_check is not None:
                     temporal_check(ea, 4)
                 end = ea + 4
-                if not ((HEAP_BASE <= ea and end <= memory.brk)
-                        or (GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (stack_base <= ea and end <= STACK_TOP)):
-                    raise MemoryFault(ea, "write")
                 v = value[rd]
-                off = ea & pmask
-                if off <= page_span:
-                    pno = ea >> PAGE_SHIFT
-                    page = pages.get(pno)
-                    if page is None:
-                        page = bytearray(PAGE_SIZE)
-                        pages[pno] = page
-                    page[off:off + 4] = v.to_bytes(4, "little")
+                if HEAP_BASE <= ea and end <= memory.brk:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        heap_cell[1][(ea - HEAP_BASE) >> 2] = v
+                elif GLOBAL_BASE <= ea and end <= globals_limit:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        glob_cell[1][(ea - GLOBAL_BASE) >> 2] = v
+                elif stack_base <= ea and end <= STACK_TOP:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        stack_cell[1][(ea - stack_base) >> 2] = v
                 else:
-                    raw_write(ea, 4, v)
+                    raise MemoryFault(ea, "write")
                 if wprobe is not None:
                     wkey = ea >> wp_shift
                     if wkey == wp_mru[0] \
@@ -866,25 +958,29 @@ def decode_program(cpu) -> List[DecodedOp]:
                                     True, "shadow")
             return store_si_word
 
-        if hb is None and size == 4 and rs is not None and rt is None:
+        if hb is None and size == 4 and rs is not None and rt is None \
+                and use_words:
             def store_s_word_plain(pc):
                 ea = (value[rs] + disp) & MASK32
                 end = ea + 4
-                if not ((HEAP_BASE <= ea and end <= memory.brk)
-                        or (GLOBAL_BASE <= ea and end <= globals_limit)
-                        or (stack_base <= ea and end <= STACK_TOP)):
-                    raise MemoryFault(ea, "write")
                 v = value[rd]
-                off = ea & pmask
-                if off <= page_span:
-                    pno = ea >> PAGE_SHIFT
-                    page = pages.get(pno)
-                    if page is None:
-                        page = bytearray(PAGE_SIZE)
-                        pages[pno] = page
-                    page[off:off + 4] = v.to_bytes(4, "little")
+                if HEAP_BASE <= ea and end <= memory.brk:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        heap_cell[1][(ea - HEAP_BASE) >> 2] = v
+                elif GLOBAL_BASE <= ea and end <= globals_limit:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        glob_cell[1][(ea - GLOBAL_BASE) >> 2] = v
+                elif stack_base <= ea and end <= STACK_TOP:
+                    if ea & 3:
+                        raw_write(ea, 4, v)
+                    else:
+                        stack_cell[1][(ea - stack_base) >> 2] = v
                 else:
-                    raw_write(ea, 4, v)
+                    raise MemoryFault(ea, "write")
                 if dprobe is not None:
                     bkey = ea >> dp_shift
                     if bkey == dp_mru[0] \

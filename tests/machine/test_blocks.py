@@ -173,3 +173,127 @@ class TestBlockExecution:
     def test_engine_name_is_validated(self):
         with pytest.raises(ValueError):
             MachineConfig(engine="warp")
+
+
+class TestFusedMemoryTemplates:
+    """The PR 3 memory templates: word load/store bodies generated
+    into the block closures (segment check + flat-arena access + tag
+    probe + timing charge), bit-identical to the other engines."""
+
+    ENGINES = ("legacy", "decoded", "blocks")
+
+    def run_all(self, program, mode_fn, timing):
+        results = {}
+        for engine in self.ENGINES:
+            cpu = CPU(program, mode_fn(timing=timing, engine=engine))
+            r = cpu.run()
+            results[engine] = (r.exit_code, r.instructions, r.uops,
+                               r.stall_cycles, r.cycles,
+                               cpu.memory.nonzero_pages())
+        assert results["blocks"] == results["legacy"]
+        assert results["decoded"] == results["legacy"]
+        return results["blocks"]
+
+    @pytest.mark.parametrize("timing", (False, True))
+    def test_indexed_forms_fuse_identically(self, timing):
+        """[base + index*scale + disp] loads and stores in a block."""
+        program = assemble("""
+        main:
+            mov r1, 4096
+            sbrk r1
+            setbound r3, r1, 64
+            mov r4, 2
+            mov r5, 777
+            store [r3 + r4*4 + 8], r5
+            load r6, [r3 + r4*4 + 8]
+            halt r6
+        """)
+        for mode_fn in (MachineConfig.hardbound, MachineConfig.plain):
+            out = self.run_all(program, mode_fn, timing)
+            assert out[0] == 777
+
+    @pytest.mark.parametrize("timing", (False, True))
+    def test_si_bounds_trap_mid_template(self, timing):
+        """A BoundsError raised inside a fused si-form load keeps the
+        per-instruction pc/icount attribution."""
+        from repro.machine import BoundsError
+        program = assemble("""
+        main:
+            mov r1, 4096
+            sbrk r1
+            setbound r3, r1, 16
+            mov r4, 5
+            load r6, [r3 + r4*4]
+            halt 0
+        """)
+        traps = {}
+        for engine in self.ENGINES:
+            cpu = CPU(program, MachineConfig.hardbound(
+                timing=timing, engine=engine))
+            with pytest.raises(BoundsError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        assert traps["blocks"] == traps["legacy"]
+        assert traps["decoded"] == traps["legacy"]
+
+    @pytest.mark.parametrize("timing", (False, True))
+    def test_unaligned_word_spills_identically(self, timing):
+        """Unaligned fused words take the raw_* spill path."""
+        program = assemble("""
+        main:
+            mov r1, 4096
+            sbrk r1
+            setbound r3, r1, 64
+            add r3, r3, 1
+            mov r5, 31337
+            store [r3 + 4], r5
+            load r6, [r3 + 4]
+            halt r6
+        """)
+        out = self.run_all(program, MachineConfig.hardbound, timing)
+        assert out[0] == 31337
+
+    def test_memory_fault_mid_block_attribution(self):
+        """A MemoryFault from the fused segment check points at the
+        faulting instruction, not the block end."""
+        from repro.machine import MemoryFault
+        program = assemble("""
+        main:
+            mov r1, 0x2000000
+            mov r2, 1
+            mov r3, 2
+            load r4, [r1]
+            mov r5, 3
+            halt 0
+        """)
+        traps = {}
+        for engine in self.ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine))
+            with pytest.raises(MemoryFault) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        assert traps["blocks"] == traps["legacy"]
+        assert traps["decoded"] == traps["legacy"]
+
+    def test_memory_templates_emitted(self):
+        """The hot word shapes really fuse (no silent fallback)."""
+        import repro.machine.blocks as blocks_mod
+        program = assemble("""
+        main:
+            mov r1, 4096
+            sbrk r1
+            setbound r3, r1, 64
+            mov r5, 5
+            store [r3], r5
+            load r6, [r3]
+            halt r6
+        """)
+        CPU(program, MachineConfig.hardbound(
+            engine="blocks", timing=True)).run()
+        shapes = {shape for sig in blocks_mod._fuse_cache
+                  for shape in sig}
+        assert any(shape.startswith("ldhb_") for shape in shapes)
+        assert any(shape.startswith("sthb_") for shape in shapes)

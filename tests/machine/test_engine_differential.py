@@ -32,10 +32,13 @@ NEW_ENGINES = ("decoded", "blocks")
 
 
 def memory_image(cpu):
-    """Normalized final memory state: non-zero pages plus segments."""
-    pages = {no: bytes(page) for no, page in cpu.memory._pages.items()
-             if any(page)}
-    return (pages, cpu.memory.brk, cpu.memory.globals_limit)
+    """Normalized final memory state: non-zero pages plus segments.
+
+    ``Memory.nonzero_pages`` is backing-store independent, so this
+    snapshot compares engines regardless of how the bytes are held.
+    """
+    return (cpu.memory.nonzero_pages(), cpu.memory.brk,
+            cpu.memory.globals_limit)
 
 
 def run_engines(program, **config_kw):

@@ -1,4 +1,11 @@
-"""Sparse paged memory: mapping discipline, raw access, segments."""
+"""Flat-bytearray memory: mapping discipline, raw access, segments.
+
+The mapping-discipline and raw-access semantics are those of the
+original sparse paged store; the flat-heap cases at the bottom pin
+the arena mechanics (doubling growth, cell stability, old-page-
+boundary spans, guard-region traps) to the same observable
+behaviour.
+"""
 
 import pytest
 from hypothesis import given, strategies as st
@@ -122,3 +129,161 @@ def test_byte_writes_match_dict_model(writes):
         model[offset] = value
     for offset, value in model.items():
         assert mem.raw_read(base + offset, 1) == value
+
+
+class TestFlatHeap:
+    """Flat-arena edge cases: the behaviours the paged store gave for
+    free and the flat store must preserve."""
+
+    def test_bulk_bytes_span_old_page_boundaries(self):
+        """raw_*_bytes across 4KB boundaries inside each arena."""
+        mem = make(b"\x00" * (PAGE_SIZE * 2))
+        blob = bytes((7 * i) & 0xFF for i in range(PAGE_SIZE + 64))
+        # globals arena, straddling the first page boundary
+        mem.raw_write_bytes(GLOBAL_BASE + PAGE_SIZE - 32, blob)
+        assert mem.raw_read_bytes(GLOBAL_BASE + PAGE_SIZE - 32,
+                                  len(blob)) == blob
+        # heap arena
+        mem.sbrk(PAGE_SIZE * 3)
+        mem.raw_write_bytes(HEAP_BASE + PAGE_SIZE - 100, blob)
+        assert mem.raw_read_bytes(HEAP_BASE + PAGE_SIZE - 100,
+                                  len(blob)) == blob
+        # stack arena
+        stack_addr = STACK_TOP - STACK_SIZE + PAGE_SIZE - 8
+        mem.raw_write_bytes(stack_addr, blob)
+        assert mem.raw_read_bytes(stack_addr, len(blob)) == blob
+
+    def test_bulk_bytes_span_arena_and_fallback(self):
+        """A range crossing from the null-guard gap into globals."""
+        blob = bytes(range(200))
+        mem = make(b"\x00" * 256)
+        mem.raw_write_bytes(GLOBAL_BASE - 100, blob)
+        assert mem.raw_read_bytes(GLOBAL_BASE - 100, len(blob)) == blob
+
+    def test_raw_read_spanning_segment_boundaries(self):
+        """A raw word straddling two arenas is assembled from both,
+        even when alignment padding (or an overshooting doubling)
+        leaves spare capacity past the reserved range."""
+        mem = make()
+        # fill the globals arena right up to its reserved range so
+        # its capacity reaches the heap boundary
+        mem.raw_write_bytes(HEAP_BASE - 1, b"\x00")
+        mem.raw_write(HEAP_BASE, 1, 0xAB)
+        assert mem.raw_read(HEAP_BASE - 2, 4) == 0xAB0000
+        # capacity never claims the next segment's address space
+        assert len(mem.globals_cell[0]) <= \
+            ((HEAP_BASE - GLOBAL_BASE + 7) & ~7)
+        # same at the top of the stack (fallback pages above it)
+        mem.raw_write(STACK_TOP, 1, 0xCD)
+        assert mem.raw_read(STACK_TOP - 2, 4) == 0xCD0000
+
+    def test_unaligned_stack_base_snapshot(self):
+        """A page straddling the fallback/stack boundary (non-page-
+        aligned stack_size) is assembled from both stores."""
+        mem = Memory(0x10001)
+        sb = mem.stack_base
+        assert sb % PAGE_SIZE != 0
+        mem.raw_write(sb, 1, 0x11)          # stack arena byte
+        mem.raw_write(sb - 1, 1, 0x22)      # fallback byte, same page
+        page = mem.nonzero_pages()[sb >> 12]
+        assert page[sb % PAGE_SIZE] == 0x11
+        assert page[(sb - 1) % PAGE_SIZE] == 0x22
+
+    def test_sbrk_growth_across_a_doubling(self):
+        mem = make()
+        initial_cap = len(mem.heap_cell[0])
+        mem.sbrk(64)
+        mem.write(HEAP_BASE, 4, 0xDEADBEEF)
+        mem.write(HEAP_BASE + 60, 4, 0x12345678)
+        # force at least one capacity doubling
+        increment = initial_cap * 2
+        old = mem.sbrk(increment)
+        assert old == HEAP_BASE + 64
+        assert len(mem.heap_cell[0]) >= 64 + increment
+        # old contents survive the buffer swap...
+        assert mem.read(HEAP_BASE, 4) == 0xDEADBEEF
+        assert mem.read(HEAP_BASE + 60, 4) == 0x12345678
+        # ...new space reads zero and is writable to the new break
+        top = HEAP_BASE + 64 + increment - 4
+        assert mem.read(top, 4) == 0
+        mem.write(top, 4, 0xCAFEF00D)
+        assert mem.read(top, 4) == 0xCAFEF00D
+        with pytest.raises(MemoryFault):
+            mem.read(top + 4, 4)
+
+    def test_heap_cell_stable_across_growth(self):
+        """Engines bind the cell once; growth must not orphan it."""
+        mem = make()
+        cell = mem.heap_cell
+        mem.sbrk(32)
+        mem.write(HEAP_BASE, 4, 41)
+        mem.sbrk(len(mem.heap_cell[0]) * 4)      # forces a doubling
+        assert mem.heap_cell is cell
+        if cell[1] is not None:
+            assert cell[1][0] == 41              # word view re-cast
+        mem.write(HEAP_BASE, 4, 42)
+        assert int.from_bytes(cell[0][0:4], "little") == 42
+
+    def test_sbrk_into_stack_reservation_traps(self):
+        """Split arenas cannot alias heap and stack storage the way
+        the unified page store did, so crossing stack_base traps
+        instead of silently overlapping; the break is unchanged."""
+        mem = make()
+        with pytest.raises(MemoryFault) as exc:
+            mem.sbrk(STACK_TOP - STACK_SIZE - HEAP_BASE + 4)
+        assert exc.value.access == "sbrk"
+        assert mem.brk == HEAP_BASE
+        assert mem.sbrk(64) == HEAP_BASE     # normal growth unaffected
+
+    def test_sbrk_shrink_keeps_bytes(self):
+        """Like persistent pages: shrink + regrow re-exposes data."""
+        mem = make()
+        mem.sbrk(64)
+        mem.write(HEAP_BASE + 32, 4, 99)
+        mem.sbrk(-64)
+        with pytest.raises(MemoryFault):
+            mem.read(HEAP_BASE + 32, 4)
+        mem.sbrk(64)
+        assert mem.read(HEAP_BASE + 32, 4) == 99
+
+    @pytest.mark.parametrize("addr,access", [
+        (0x0, "read"),                           # null guard
+        (0xFFC, "write"),                        # null guard, last word
+        (HEAP_BASE - 4, "read"),                 # globals/heap gap
+        (HEAP_BASE, "write"),                    # heap before any sbrk
+        (STACK_TOP - STACK_SIZE - 4, "write"),   # below the stack
+        (STACK_TOP, "read"),                     # above the stack
+    ])
+    def test_guard_region_traps_match_paged_model(self, addr, access):
+        """Same trap type, message, addr and access as the old store."""
+        mem = make(b"\x00" * 8)
+        with pytest.raises(MemoryFault) as exc:
+            if access == "read":
+                mem.read(addr, 4)
+            else:
+                mem.write(addr, 4, 1)
+        assert exc.value.addr == addr
+        assert exc.value.access == access
+        assert str(exc.value) == (
+            "memory fault: %s of unmapped 0x%08x" % (access, addr))
+
+    def test_unaligned_word_in_each_segment(self):
+        """Unaligned checked words spill to raw_* and round-trip."""
+        mem = make(b"\x00" * 64)
+        mem.sbrk(64)
+        for base in (GLOBAL_BASE, HEAP_BASE, STACK_TOP - 64):
+            for off in (1, 2, 3):
+                mem.write(base + off, 4, 0xA1B2C3D4 + off)
+                assert mem.read(base + off, 4) == 0xA1B2C3D4 + off
+
+    def test_nonzero_pages_snapshot(self):
+        mem = make(b"\x01\x00\x02")
+        mem.sbrk(16)
+        mem.write(HEAP_BASE + 8, 4, 5)
+        mem.raw_write(0x5000, 1, 9)              # fallback page
+        pages = mem.nonzero_pages()
+        assert pages[GLOBAL_BASE >> 12][0] == 1
+        assert pages[HEAP_BASE >> 12][8] == 5
+        assert pages[0x5][0] == 9
+        for page in pages.values():
+            assert len(page) == PAGE_SIZE
