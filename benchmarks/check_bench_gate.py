@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the freshly emitted benchmark record.
+
+``bench_engine.py`` writes ``results/BENCH_engine.json`` on every CI
+run; this script is the step right after it and fails the build when
+
+* the record's ``timed.blocks_vs_decoded`` speedup falls below the
+  committed floor (``FLOOR_TIMED_BLOCKS_VS_DECODED``, the PR 2
+  acceptance line — the ratio is host-independent because both
+  engines run on the same machine in the same process), or
+* the engine differential / fast-model counter-identity suite did
+  not actually run and pass: the gate demands the junit record the
+  suite step emits (``--junitxml``), and checks every required test
+  module is present with zero failures, errors or skips.  A build
+  that silently dropped the equivalence proof must not be green.
+
+The same-host baseline ratios (``blocks_vs_pr2_blocks`` /
+``blocks_vs_pr3_blocks``) are *not* gated here: they compare against
+numbers measured on the record host, so cloud-runner noise would
+flake PRs.  The record host arms ``REPRO_ASSERT_PR2`` /
+``REPRO_ASSERT_PR3``, which turn the hard assertions on inside
+``bench_engine.py`` itself.
+
+Freshness: ``results/BENCH_engine.json`` is tracked in git, so the
+workflow deletes it (and any stale junit) before the suites run —
+a build that silently skips the benchmark or the differential step
+therefore presents *missing* artifacts here, not yesterday's
+passing ones.
+
+``bench_engine.py`` imports :data:`FLOOR_TIMED_BLOCKS_VS_DECODED`
+for its own in-process assertion, so the floor has exactly one
+committed definition.
+
+Exit status: 0 when every gate holds, 1 otherwise (with one line per
+violation on stderr).  Stdlib only — runs before any dependency
+install if need be.
+"""
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+#: committed floor for the timed blocks-vs-decoded speedup.  Start at
+#: the PR 2 acceptance line; raise it as the engine gets faster (the
+#: measured value is printed on every run to make drift visible).
+FLOOR_TIMED_BLOCKS_VS_DECODED = 1.5
+
+#: test modules whose presence in the junit record proves the
+#: three-way engine differential and fast-model counter-identity
+#: suites ran in this build
+REQUIRED_SUITES = (
+    "tests.machine.test_engine_differential",
+    "tests.machine.test_blocks",
+    "tests.caches.test_fast",
+)
+
+
+def check_record(path: str, floor: float, errors: list) -> None:
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        errors.append("cannot read benchmark record %s: %s"
+                      % (path, exc))
+        return
+    try:
+        ratio = record["speedups"]["timed"]["blocks_vs_decoded"]
+    except (KeyError, TypeError):
+        errors.append("%s has no speedups.timed.blocks_vs_decoded"
+                      % path)
+        return
+    print("bench-gate: timed blocks_vs_decoded = %.2fx (floor %.2fx)"
+          % (ratio, floor))
+    if ratio < floor:
+        errors.append(
+            "timed blocks_vs_decoded %.3fx is below the committed "
+            "floor %.2fx — the blocks engine regressed past the PR 2 "
+            "acceptance line" % (ratio, floor))
+    for extra in ("blocks_vs_pr2_blocks", "blocks_vs_pr3_blocks"):
+        value = record["speedups"]["timed"].get(extra)
+        if value is not None:
+            print("bench-gate: timed %s = %.2fx (informational)"
+                  % (extra, value))
+
+
+def check_junit(path: str, errors: list) -> None:
+    try:
+        root = ET.parse(path).getroot()
+    except (OSError, ET.ParseError) as exc:
+        errors.append("differential suite junit record %s missing or "
+                      "unreadable (%s) — the equivalence suite did "
+                      "not run" % (path, exc))
+        return
+    suites = ([root] if root.tag == "testsuite"
+              else root.findall("testsuite"))
+    tests = failures = skipped = 0
+    classnames = set()
+    for suite in suites:
+        tests += int(suite.get("tests", 0))
+        failures += (int(suite.get("failures", 0))
+                     + int(suite.get("errors", 0)))
+        skipped += int(suite.get("skipped", 0))
+        for case in suite.iter("testcase"):
+            classnames.add(case.get("classname") or "")
+    print("bench-gate: differential suite ran %d tests "
+          "(%d failed, %d skipped)" % (tests, failures, skipped))
+    if tests == 0:
+        errors.append("differential suite junit records zero tests")
+    if failures:
+        errors.append("differential suite junit records %d "
+                      "failures/errors" % failures)
+    if skipped:
+        errors.append("differential suite junit records %d skipped "
+                      "tests — the equivalence proof must run in "
+                      "full" % skipped)
+    for module in REQUIRED_SUITES:
+        if not any(name == module or name.startswith(module + ".")
+                   for name in classnames):
+            errors.append("required suite %s is absent from the "
+                          "junit record" % module)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--record", default="results/BENCH_engine.json",
+                        help="BENCH_engine.json emitted by this build")
+    parser.add_argument("--junit", default="results/diff_suite.xml",
+                        help="junit xml emitted by the differential "
+                             "suite step of this build")
+    parser.add_argument("--floor", type=float,
+                        default=FLOOR_TIMED_BLOCKS_VS_DECODED,
+                        help="minimum timed blocks_vs_decoded speedup")
+    args = parser.parse_args(argv)
+    errors: list = []
+    check_record(args.record, args.floor, errors)
+    check_junit(args.junit, errors)
+    for message in errors:
+        print("bench-gate: FAIL: %s" % message, file=sys.stderr)
+    if not errors:
+        print("bench-gate: OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

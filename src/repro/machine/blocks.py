@@ -66,6 +66,11 @@ import types
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
+from repro.caches.fast import (
+    FastMemorySystem,
+    data_probe_lines,
+    word_probe_lines,
+)
 from repro.isa.opcodes import Op, REG_FP, REG_RA, REG_SP
 from repro.isa.program import Program
 from repro.layout import GLOBAL_BASE, HEAP_BASE, MASK32, MAXINT, STACK_TOP
@@ -269,10 +274,16 @@ class _FuseCtx:
     decoded engine would take its own inline memory fast path, so a
     fused memory template never covers a configuration the decoded
     closures would route through generic engine calls.
+
+    ``assoc_sig`` carries the fast model's associativity geometry
+    (TLB, L1, tag cache, L2): the inlined probe bodies unroll their
+    way scans over it, so it is part of the memory templates' shape
+    identity.
     """
 
     __slots__ = ("observer_none", "full_mode", "fuse_hb_mem",
-                 "hb_timing", "fuse_plain_mem", "plain_timing")
+                 "hb_timing", "fuse_plain_mem", "plain_timing",
+                 "assoc_sig", "assoc_tag")
 
     def __init__(self, env):
         self.observer_none = env.observer is None
@@ -286,6 +297,14 @@ class _FuseCtx:
         self.plain_timing = env.dprobe is not None
         self.fuse_plain_mem = (mem_ok and env.hb is None
                                and (not timing or self.plain_timing))
+        if isinstance(env.memsys, FastMemorySystem):
+            p = env.memsys.params
+            self.assoc_sig = (p.tlb_assoc, p.l1_assoc,
+                              p.tag_cache_assoc, p.l2_assoc)
+            self.assoc_tag = "_a" + "-".join(map(str, self.assoc_sig))
+        else:
+            self.assoc_sig = None
+            self.assoc_tag = ""
 
 
 # -- memory template fragments ----------------------------------------------
@@ -299,183 +318,16 @@ _HEAP = str(HEAP_BASE)
 _GLOB = str(GLOBAL_BASE)
 _STOP = str(STACK_TOP)
 
-def _lru_touch_lines(pad: str, sets: str, key: str, ctr: str,
-                     miss_idx: int, pen: str, assoc: str,
-                     mask: str) -> List[str]:
-    """One stamped-LRU structure touch (TLB leg shape): hit refreshes
-    the recency stamp, miss charges the penalty and evicts the
-    minimum-stamp way — identical bookkeeping to the closure probes
-    in :mod:`repro.caches.fast`."""
-    return [
-        pad + "s = %s[%s & %s]" % (sets, key, mask),
-        pad + "if %s in s:" % key,
-        pad + "    s[%s] = _q[0] = _q[0] + 1" % key,
-        pad + "else:",
-        pad + "    %s[%d] += 1" % (ctr, miss_idx),
-        pad + "    %s[4] += %s" % (ctr, pen),
-        pad + "    if len(s) >= %s:" % assoc,
-        pad + "        del s[min(s, key=s.get)]",
-        pad + "    s[%s] = _q[0] = _q[0] + 1" % key,
-    ]
-
-
-def _l1_walk_lines(pad: str, sets: str, ctr: str, assoc: str,
-                   mask: str, mru: str) -> List[str]:
-    """The L1(-or-tag-cache)+L2 block walk of the closure probes,
-    starting from locals ``bno``/``lb`` with ``stall`` accumulation."""
-    return [
-        pad + "stall = 0",
-        pad + "while True:",
-        pad + "    s = %s[bno & %s]" % (sets, mask),
-        pad + "    if bno in s:",
-        pad + "        s[bno] = _q[0] = _q[0] + 1",
-        pad + "    else:",
-        pad + "        %s[2] += 1" % ctr,
-        pad + "        stall += _1pen",
-        pad + "        s2 = _l2[bno & _l2m]",
-        pad + "        if bno in s2:",
-        pad + "            s2[bno] = _q[0] = _q[0] + 1",
-        pad + "        else:",
-        pad + "            %s[3] += 1" % ctr,
-        pad + "            stall += _2pen",
-        pad + "            if len(s2) >= _l2a:",
-        pad + "                del s2[min(s2, key=s2.get)]",
-        pad + "            s2[bno] = _q[0] = _q[0] + 1",
-        pad + "        if len(s) >= %s:" % assoc,
-        pad + "            del s[min(s, key=s.get)]",
-        pad + "        s[bno] = _q[0] = _q[0] + 1",
-        pad + "    %s[0] = bno" % mru,
-        pad + "    if bno == lb:",
-        pad + "        break",
-        pad + "    %s[5] += 1" % ctr,
-        pad + "    bno = lb",
-        pad + "%s[4] += stall" % ctr,
-    ]
-
-
-def _wprobe_inline_lines() -> List[str]:
-    """The whole FastMemorySystem word+tag charge, inlined.
-
-    Source-level copy of ``make_word_probe``'s closure body over the
-    same structures (handed out by ``FastMemorySystem.inline_env``):
-    composite-MRU skip, data leg (fig page, TLB, L1/L2 walk), tag
-    leg, and the composite-cell writeback.
-    """
-    lines = [
-        "wkey = ea >> _wps",
-        "if wkey == _wpm[0] and (ea + 3) >> _wps == wkey:",
-        "    _dct[0] += 1",
-        "    _tct[0] += 1",
-        "else:",
-        # -- data leg (4 bytes) --
-        "    _dct[0] += 1",
-        "    fp = ea >> _fs",
-        "    if fp != _dfg[0]:",
-        "        _dpg(fp)",
-        "        _dfg[0] = fp",
-        "    pno = ea >> _ps",
-        "    if pno != _dtm[0]:",
-    ]
-    lines += _lru_touch_lines("        ", "_dtl", "pno", "_dct", 1,
-                              "_tpen", "_tla", "_tlm")
-    lines += [
-        "        _dtm[0] = pno",
-        "    fb = ea >> _bs",
-        "    lb = (ea + 3) >> _bs",
-        "    if fb == lb == _dmr[0]:",
-        "        pass",
-        "    else:",
-        "        bno = fb",
-    ]
-    lines += _l1_walk_lines("        ", "_dse", "_dct", "_das", "_dma",
-                               "_dmr")
-    lines += [
-        # -- tag leg (1 byte, never spans) --
-        "    taddr = _tb + (ea >> _ts)",
-        "    _tct[0] += 1",
-        "    fp = taddr >> _fs",
-        "    if fp != _tfg[0]:",
-        "        _tpg(fp)",
-        "        _tfg[0] = fp",
-        "    pno = taddr >> _ps",
-        "    if pno != _ttm[0]:",
-    ]
-    lines += _lru_touch_lines("        ", "_ttl", "pno", "_tct", 1,
-                              "_tpen", "_tla", "_tlm")
-    lines += [
-        "        _ttm[0] = pno",
-        "    bno = taddr >> _bs",
-        "    if bno != _tmr[0]:",
-        "        s = _tse[bno & _tma]",
-        "        if bno in s:",
-        "            s[bno] = _q[0] = _q[0] + 1",
-        "        else:",
-        "            _tct[2] += 1",
-        "            stall = _1pen",
-        "            s2 = _l2[bno & _l2m]",
-        "            if bno in s2:",
-        "                s2[bno] = _q[0] = _q[0] + 1",
-        "            else:",
-        "                _tct[3] += 1",
-        "                stall += _2pen",
-        "                if len(s2) >= _l2a:",
-        "                    del s2[min(s2, key=s2.get)]",
-        "                s2[bno] = _q[0] = _q[0] + 1",
-        "            if len(s) >= _tas:",
-        "                del s[min(s, key=s.get)]",
-        "            s[bno] = _q[0] = _q[0] + 1",
-        "            _tct[4] += stall",
-        "        _tmr[0] = bno",
-        "    _wpm[0] = wkey if _cmpw and fb == lb else -1",
-        "    _dpm[0] = -1",
-    ]
-    return lines
-
-
-def _dprobe_inline_lines() -> List[str]:
-    """The plain 4-byte data charge, inlined.
-
-    Source-level copy of the ``_make_kind_probe("data", ...)``
-    closure body over the same structures.
-    """
-    lines = [
-        "fb = ea >> _bs",
-        "lb = (ea + 3) >> _bs",
-        "if fb == lb == _dpm[0]:",
-        "    _dct[0] += 1",
-        "else:",
-        "    _dct[0] += 1",
-        "    fp = ea >> _fs",
-        "    if fp != _dfg[0]:",
-        "        _dpg(fp)",
-        "        _dfg[0] = fp",
-        "    pno = ea >> _ps",
-        "    if pno != _dtm[0]:",
-    ]
-    lines += _lru_touch_lines("        ", "_dtl", "pno", "_dct", 1,
-                              "_tpen", "_tla", "_tlm")
-    lines += [
-        "        _dtm[0] = pno",
-        "    if fb == lb == _dmr[0]:",
-        "        pass",
-        "    else:",
-        "        bno = fb",
-    ]
-    lines += _l1_walk_lines("        ", "_dse", "_dct", "_das", "_dma",
-                               "_dmr")
-    lines += [
-        "    _dpm[0] = fb if _cmpd and fb == lb else -1",
-        "    _wpm[0] = -1",
-    ]
-    return lines
-
-
-#: FastMemorySystem word+tag charge, fully inlined (built once; the
-#: lines carry no per-instruction placeholders)
-_WPROBE_LINES = _wprobe_inline_lines()
-
-#: FastMemorySystem plain data charge, fully inlined
-_DPROBE_LINES = _dprobe_inline_lines()
+# The fast memory-model charge bodies are emitted by
+# repro.caches.fast's line emitters (word_probe_lines /
+# data_probe_lines): the same source the closure probes are compiled
+# from, parameterized by the associativity geometry (way scans are
+# unrolled for assoc <= 4 over the flat recency-ordered way tables).
+# The
+# lines carry no per-instruction placeholders, so they are inlined
+# into the memory templates verbatim; the assoc geometry becomes part
+# of the template shape (``_FuseCtx.assoc_tag``) because it changes
+# the generated source.
 
 
 def _word_read_lines(acc: str) -> List[str]:
@@ -622,35 +474,42 @@ def _mem_part(instr, i: int, ctx: _FuseCtx) -> Optional[_Part]:
         shape = "%shb_%s%d%d%d" % ("ld" if load else "st",
                                    "si" if si else "s",
                                    frame, ctx.full_mode, timing)
+        if timing:
+            shape += ctx.assoc_tag
+            wprobe = list(word_probe_lines(*ctx.assoc_sig))
         lines = [ea_line]
         lines += _hb_check_lines(acc, si, frame, ctx.full_mode)
         if load:
             lines += _word_read_lines(acc)
             if timing:
-                lines += _WPROBE_LINES
+                lines += wprobe
             lines += _load_meta_lines(timing)
         else:
             lines += _word_write_lines(acc)
             if timing:
-                lines += _WPROBE_LINES
+                lines += wprobe
             lines += _store_meta_lines(timing)
         return _Part(shape, params, lines)
     if ctx.fuse_plain_mem:
         timing = ctx.plain_timing
         shape = "%spl_%s%d" % ("ld" if load else "st",
                                "si" if si else "s", timing)
+        if timing:
+            shape += ctx.assoc_tag
+            sig = ctx.assoc_sig
+            dprobe = list(data_probe_lines(sig[0], sig[1], sig[3]))
         lines = [ea_line]
         if load:
             lines += _word_read_lines(acc)
             if timing:
-                lines += _DPROBE_LINES
+                lines += dprobe
             lines += ["value[rd{i}] = v",
                       "rbase[rd{i}] = 0",
                       "rbound[rd{i}] = 0"]
         else:
             lines += _word_write_lines(acc)
             if timing:
-                lines += _DPROBE_LINES
+                lines += dprobe
         return _Part(shape, params, lines)
     return None
 
@@ -815,21 +674,23 @@ _line_maps: Dict[object, Dict[int, int]] = {}
 
 #: template parameter name -> FastMemorySystem.inline_env field.
 #: Single source of truth for the fast memory-model inline
-#: environment (geometry, per-kind records, stamp and composite
+#: environment (geometry, per-kind records, way tables and composite
 #: cells); the fuser signature and the per-block value vector are
 #: both derived from it, so a field can only be added or renamed in
 #: one place.
 _MI_PARAMS = (
-    ("_q", "seq"), ("_bs", "block_shift"), ("_ps", "page_shift"),
-    ("_fs", "fig_shift"), ("_tlm", "tlb_mask"), ("_tla", "tlb_assoc"),
-    ("_l2", "l2_sets"), ("_l2m", "l2_mask"), ("_l2a", "l2_assoc"),
+    ("_bs", "block_shift"), ("_ps", "page_shift"),
+    ("_fs", "fig_shift"), ("_tlm", "tlb_mask"),
+    ("_l2k", "l2_keys"), ("_l2m", "l2_mask"),
     ("_tpen", "tlb_pen"), ("_1pen", "l1_pen"), ("_2pen", "l2_pen"),
-    ("_dct", "dctr"), ("_dpg", "dpages_add"), ("_dtl", "dtlb_sets"),
-    ("_dtm", "dtlb_mru"), ("_dse", "dsets"), ("_dma", "dmask"),
-    ("_das", "dassoc"), ("_dmr", "dmru"), ("_dfg", "dfig_mru"),
-    ("_tct", "tctr"), ("_tpg", "tpages_add"), ("_ttl", "ttlb_sets"),
-    ("_ttm", "ttlb_mru"), ("_tse", "tsets"), ("_tma", "tmask"),
-    ("_tas", "tassoc"), ("_tmr", "tmru"), ("_tfg", "tfig_mru"),
+    ("_dct", "dctr"), ("_dpg", "dpages_add"),
+    ("_dtlk", "dtlb_keys"), ("_dtm", "dtlb_mru"),
+    ("_l1k", "dkeys"), ("_dma", "dmask"), ("_dmr", "dmru"),
+    ("_dfg", "dfig_mru"),
+    ("_tct", "tctr"), ("_tpg", "tpages_add"),
+    ("_ttlk", "ttlb_keys"), ("_ttm", "ttlb_mru"),
+    ("_tck", "tkeys"), ("_tma", "tmask"), ("_tmr", "tmru"),
+    ("_tfg", "tfig_mru"),
     ("_tb", "tag_base"), ("_ts", "tag_shift"),
     ("_wpm", "wp_mru"), ("_wps", "wp_shift"), ("_cmpw", "wp_composite"),
     ("_dpm", "dp_mru"), ("_cmpd", "dp_composite"),
@@ -889,7 +750,6 @@ def build_block_table(cpu, code: list, env=None) -> list:
     :func:`repro.machine.decode.bind_env`) so fused memory templates
     share the decoded closures' probe and counter state.
     """
-    from repro.caches.fast import FastMemorySystem
     from repro.machine.decode import bind_env
 
     if env is None:

@@ -3,17 +3,30 @@
 Random access streams (including tiny caches that force constant
 aliasing and eviction, spanning accesses, and the hot-probe entry
 points) are replayed against both models and every statistic is
-compared.  Whole-workload equivalence is covered by the engine
-differential suite.
+compared — across an associativity/size sweep, since the fast
+model's generated probes unroll their way scans for ``assoc <= 4``
+and take a distinct bounded-scan path above that.  Whole-workload
+equivalence is covered by the engine differential suite.
 """
 
 import random
+
+import pytest
 
 from repro.caches.fast import FastMemorySystem
 from repro.caches.hierarchy import CacheParams, MemorySystem
 from repro.layout import TAG1_BASE, shadow_base_addr
 
 KINDS = ("data", "shadow", "tag", "soft")
+
+
+def sweep_params(assoc, sets):
+    """A legal geometry with every structure at the given shape."""
+    return CacheParams(
+        l1_size=32 * assoc * sets, l1_assoc=assoc,
+        l2_size=32 * assoc * sets * 8, l2_assoc=assoc,
+        tag_cache_size=32 * assoc * sets, tag_cache_assoc=assoc,
+        tlb_entries=4 * assoc, tlb_assoc=assoc)
 
 
 def assert_same_stats(classic, fast):
@@ -165,6 +178,135 @@ class TestProbeEquivalence:
             else:
                 wprobe(addr)
         assert_same_stats(classic, fast)
+
+
+class TestAssociativitySweep:
+    """Counter-identity across assoc ∈ {1, 2, 4, 8} × size.
+
+    ``assoc <= 4`` runs the unrolled way scans of the generated
+    probes; ``assoc == 8`` runs the non-unrolled bounded-``for``
+    scan, so both generated shapes are exercised against the classic
+    model.
+    """
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8])
+    @pytest.mark.parametrize("sets", [4, 16])
+    def test_generic_stream_identity(self, assoc, sets):
+        rng = random.Random(100 * assoc + sets)
+        replay(sweep_params(assoc, sets),
+               random_stream(rng, 4000, 1 << 16))
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8])
+    def test_probe_identity(self, assoc):
+        """Word/data/shadow probes and generic accesses interleaved,
+        per associativity (tiny sets force eviction traffic)."""
+        rng = random.Random(7 + assoc)
+        params = sweep_params(assoc, 4)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        wprobe = fast.make_word_probe(TAG1_BASE, 5)
+        dprobe = fast.make_data_probe()
+        sprobe = fast.make_shadow_probe()
+        hot = [rng.randrange(1 << 13) & ~3 for _ in range(6)]
+        for _ in range(6000):
+            addr = (rng.choice(hot) if rng.random() < 0.6
+                    else rng.randrange(1 << 15) & ~3)
+            op = rng.randrange(4)
+            if op == 0:
+                classic.access(addr, 4, False, "data")
+                classic.access(TAG1_BASE + (addr >> 5), 1, False,
+                               "tag")
+                wprobe(addr)
+            elif op == 1:
+                classic.access(addr, 4, True, "data")
+                dprobe(addr)
+            elif op == 2:
+                classic.access(shadow_base_addr(addr), 8, False,
+                               "shadow")
+                sprobe(addr & ~3)
+            else:
+                size = rng.choice((1, 2, 4))
+                classic.access(addr, size, False, "data")
+                fast.access(addr, size, False, "data")
+        assert_same_stats(classic, fast)
+
+
+class TestEvictionOrder:
+    """The flat way tables must evict exactly the classic LRU victim.
+
+    Recency is encoded positionally (most recent at way 0, evict the
+    last way) — the ``OrderedDict`` order of the classic model in
+    array clothes.  These tests force conflict sets where the victim
+    choice is observable through the miss counters.
+    """
+
+    def conflicting(self, params, n):
+        """Addresses that all map to L1 set 0."""
+        num_sets = params.l1_size // (params.l1_assoc * params.block)
+        return [params.block * num_sets * k for k in range(n)]
+
+    def test_lru_victim_after_reordering_hits(self):
+        params = sweep_params(4, 4)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        a = self.conflicting(params, 6)
+        # fill the set, promote a0 back to the front, then overflow:
+        # the victim must be a1 (now the least recent), not a0
+        pattern = [a[0], a[1], a[2], a[3], a[0], a[4]]
+        # a0 must still hit; a1 must have been evicted
+        pattern += [a[0], a[1]]
+        for addr in pattern:
+            assert (fast.access(addr, 4, False, "data")
+                    == classic.access(addr, 4, False, "data")), addr
+        assert_same_stats(classic, fast)
+        # fill(4 misses) + promote(hit) + overflow(miss)
+        # + a0 hit + evicted-a1 miss
+        assert fast.stats["data"].l1_misses == 6
+
+    def test_eviction_order_survives_reset_stats(self):
+        """reset_stats clears counters but keeps warm contents AND
+        their recency order, like the classic model."""
+        params = sweep_params(2, 4)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        a = self.conflicting(params, 3)
+        for addr in (a[0], a[1], a[0]):  # a1 is now the LRU way
+            classic.access(addr, 4, False, "data")
+            fast.access(addr, 4, False, "data")
+        classic.reset_stats()
+        fast.reset_stats()
+        # overflow: the pre-reset order must pick a1 as the victim
+        for addr in (a[2], a[0], a[1]):
+            assert (fast.access(addr, 4, False, "data")
+                    == classic.access(addr, 4, False, "data")), addr
+        assert_same_stats(classic, fast)
+        # a2 misses (evicts a1), a0 still hits, a1 misses again
+        assert fast.stats["data"].l1_misses == 2
+
+    def test_long_stream_has_no_recency_overflow(self):
+        """Positional recency cannot wrap or overflow.
+
+        The recency-stamp design this layout replaced drew stamps
+        from a monotone counter; way order has no counter at all, so
+        eviction order stays exact over arbitrarily long streams.
+        A long conflict-heavy stream (far more touches than any
+        fixed-width stamp would hold at these set counts) must stay
+        counter-identical, including across a mid-stream stats
+        reset."""
+        params = sweep_params(2, 4)
+        classic = MemorySystem(params)
+        fast = FastMemorySystem(params)
+        a = self.conflicting(params, 5)
+        rng = random.Random(11)
+        for i in range(100_000):
+            addr = rng.choice(a)
+            assert (fast.access(addr, 4, False, "data")
+                    == classic.access(addr, 4, False, "data")), (i, addr)
+            if i == 50_000:
+                classic.reset_stats()
+                fast.reset_stats()
+        assert_same_stats(classic, fast)
+        assert fast.stats["data"].l1_misses > 0
 
 
 class TestInterface:
