@@ -8,6 +8,10 @@ run; this script is the step right after it and fails the build when
   committed floor (``FLOOR_TIMED_BLOCKS_VS_DECODED``, the PR 2
   acceptance line — the ratio is host-independent because both
   engines run on the same machine in the same process), or
+* the record's ``timed.superblocks_vs_blocks`` speedup falls below
+  ``FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS`` (the PR 5 acceptance line
+  for the superblock trace tier, host-independent for the same
+  reason), or
 * the engine differential / fast-model counter-identity suite did
   not actually run and pass: the gate demands the junit record the
   suite step emits (``--junitxml``), and checks every required test
@@ -15,11 +19,12 @@ run; this script is the step right after it and fails the build when
   that silently dropped the equivalence proof must not be green.
 
 The same-host baseline ratios (``blocks_vs_pr2_blocks`` /
-``blocks_vs_pr3_blocks``) are *not* gated here: they compare against
-numbers measured on the record host, so cloud-runner noise would
-flake PRs.  The record host arms ``REPRO_ASSERT_PR2`` /
-``REPRO_ASSERT_PR3``, which turn the hard assertions on inside
-``bench_engine.py`` itself.
+``blocks_vs_pr3_blocks`` / ``superblocks_vs_pr4_blocks``) are *not*
+gated here: they compare against numbers measured on the record
+host, so cloud-runner noise would flake PRs.  The record host arms
+``REPRO_ASSERT_PR2`` / ``REPRO_ASSERT_PR3`` / ``REPRO_ASSERT_PR4``,
+which turn the hard assertions on inside ``bench_engine.py``
+itself.
 
 Freshness: ``results/BENCH_engine.json`` is tracked in git, so the
 workflow deletes it (and any stale junit) before the suites run —
@@ -46,12 +51,19 @@ import xml.etree.ElementTree as ET
 #: measured value is printed on every run to make drift visible).
 FLOOR_TIMED_BLOCKS_VS_DECODED = 1.5
 
+#: committed floor for the timed superblocks-vs-blocks speedup — the
+#: PR 5 acceptance line for the trace tier + full-coverage templates.
+#: Host-independent: both engines run in the same process on the same
+#: machine.
+FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS = 1.15
+
 #: test modules whose presence in the junit record proves the
-#: three-way engine differential and fast-model counter-identity
+#: four-way engine differential and fast-model counter-identity
 #: suites ran in this build
 REQUIRED_SUITES = (
     "tests.machine.test_engine_differential",
     "tests.machine.test_blocks",
+    "tests.machine.test_superblocks",
     "tests.caches.test_fast",
 )
 
@@ -77,7 +89,22 @@ def check_record(path: str, floor: float, errors: list) -> None:
             "timed blocks_vs_decoded %.3fx is below the committed "
             "floor %.2fx — the blocks engine regressed past the PR 2 "
             "acceptance line" % (ratio, floor))
-    for extra in ("blocks_vs_pr2_blocks", "blocks_vs_pr3_blocks"):
+    try:
+        sb = record["speedups"]["timed"]["superblocks_vs_blocks"]
+    except (KeyError, TypeError):
+        errors.append("%s has no speedups.timed.superblocks_vs_blocks"
+                      % path)
+        return
+    print("bench-gate: timed superblocks_vs_blocks = %.2fx "
+          "(floor %.2fx)" % (sb, FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS))
+    if sb < FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS:
+        errors.append(
+            "timed superblocks_vs_blocks %.3fx is below the "
+            "committed floor %.2fx — the superblock trace tier "
+            "regressed past the PR 5 acceptance line"
+            % (sb, FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS))
+    for extra in ("blocks_vs_pr2_blocks", "blocks_vs_pr3_blocks",
+                  "superblocks_vs_pr4_blocks"):
         value = record["speedups"]["timed"].get(extra)
         if value is not None:
             print("bench-gate: timed %s = %.2fx (informational)"

@@ -1,2 +1,10 @@
+"""Shim for legacy ``setup.py`` invocations.
+
+All metadata and the src-layout package discovery live in
+``pyproject.toml``; this file only keeps ``python setup.py ...`` and
+old pip versions working.
+"""
+
 from setuptools import setup
+
 setup()

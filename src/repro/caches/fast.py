@@ -196,7 +196,8 @@ def _pad(pad: str, lines: List[str]) -> List[str]:
 
 @lru_cache(maxsize=None)
 def word_probe_lines(tlb_assoc: int, l1_assoc: int, tag_assoc: int,
-                     l2_assoc: int) -> Tuple[str, ...]:
+                     l2_assoc: int,
+                     skip_cell: bool = False) -> Tuple[str, ...]:
     """The whole word+tag charge as source lines over variable ``ea``.
 
     Charges a 4-byte ``"data"`` access at ``ea`` followed by a 1-byte
@@ -207,6 +208,12 @@ def word_probe_lines(tlb_assoc: int, l1_assoc: int, tag_assoc: int,
     the previous probe's key granule (see :meth:`make_word_probe`).
     Consumed both by the closure compiler here and, verbatim, by the
     block-fusion templates.
+
+    With ``skip_cell`` (the superblock tier's variant) the composite
+    hit bumps the shared ``_wsk`` cell once instead of the data and
+    tag access counters twice; :attr:`FastMemorySystem.stats`
+    materializes the cell back into both counts, so the two variants
+    are freely interchangeable mid-run.
     """
     lines = [
         # the key granule pins only the access's first block, so the
@@ -214,8 +221,13 @@ def word_probe_lines(tlb_assoc: int, l1_assoc: int, tag_assoc: int,
         # (conservative: same key granule for both ends)
         "wkey = ea >> _wps",
         "if wkey == _wpm[0] and (ea + 3) >> _wps == wkey:",
-        "    _dct[0] += 1",
-        "    _tct[0] += 1",
+    ]
+    if skip_cell:
+        lines += ["    _wsk[0] += 1"]
+    else:
+        lines += ["    _dct[0] += 1",
+                  "    _tct[0] += 1"]
+    lines += [
         "else:",
         # -- data leg (4 bytes) --
         "    _dct[0] += 1",
@@ -477,6 +489,10 @@ class FastMemorySystem:
         # other probe therefore invalidates these on its full path
         self._wp_mru = [-1]
         self._dp_mru = [-1]
+        # composite-hit batch counter (superblock-tier word probes):
+        # one bump per composite hit, materialized into both the data
+        # and tag access counts when stats are read
+        self._wp_skip = [0]
         # every cell whose skip path can elide a distinct-page add;
         # reset_stats() must invalidate them so cleared page sets
         # repopulate (probes register their private fig cells here)
@@ -757,6 +773,7 @@ class FastMemorySystem:
             tlb_assoc=tlb_assoc, l2_keys=l2_keys, l2_mask=l2_mask,
             l2_assoc=l2_assoc, tlb_pen=tlb_pen, l1_pen=l1_pen,
             l2_pen=l2_pen, wp_mru=self._wp_mru, dp_mru=self._dp_mru,
+            wp_skip=self._wp_skip,
             tag_base=tag_base, tag_shift=tag_shift,
         )
         drec = self._kinds["data"]
@@ -801,10 +818,15 @@ class FastMemorySystem:
     def stats(self) -> AccessStats:
         """Materialize the batched counters as an ``AccessStats``."""
         out = AccessStats()
+        skip = self._wp_skip[0]
         for kind, rec in self._kinds.items():
             ctr, pages = rec[_R_CTR], rec[_R_PAGES]
             ks = out.kinds[kind]
             ks.accesses = ctr[_ACC]
+            if kind in ("data", "tag"):
+                # each batched composite hit was one data access and
+                # one tag access
+                ks.accesses += skip
             ks.tlb_misses = ctr[_TLB_M]
             ks.l1_misses = ctr[_L1_M]
             ks.l2_misses = ctr[_L2_M]
@@ -825,6 +847,7 @@ class FastMemorySystem:
             for i in range(len(ctr)):
                 ctr[i] = 0
             pages.clear()
+        self._wp_skip[0] = 0
         # composite/fig-page shortcuts may elide page-set adds; after
         # clearing the sets they must repopulate from scratch
         for cell in self._reset_cells:
@@ -839,6 +862,8 @@ class FastMemorySystem:
         for kind in kinds_subset:
             ctr = self._kinds[kind][_R_CTR]
             acc += ctr[_ACC] + (ctr[_SPANS] if spanning else 0)
+            if kind in ("data", "tag"):
+                acc += self._wp_skip[0]
             misses += ctr[miss_idx]
         return acc, misses
 

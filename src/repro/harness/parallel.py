@@ -39,7 +39,7 @@ from repro.harness.runner import (
     source_digest,
 )
 from repro.machine.config import (
-    ENGINE_BLOCKS,
+    ENGINE_SUPERBLOCKS,
     ENGINES,
     MachineConfig,
     SafetyMode,
@@ -160,7 +160,7 @@ def run_benchmark_matrix_parallel(
         timing: bool = True,
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_BLOCKS) -> Dict[str, BenchmarkRun]:
+        engine: str = ENGINE_SUPERBLOCKS) -> Dict[str, BenchmarkRun]:
     """Sharded, cached equivalent of
     :func:`repro.harness.runner.run_benchmark_matrix`.
 
@@ -298,7 +298,7 @@ def sweep_objtable_elision_parallel(
         fractions: Iterable[float],
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_BLOCKS) -> Dict[float, float]:
+        engine: str = ENGINE_SUPERBLOCKS) -> Dict[float, float]:
     """Sharded, cached version of
     :func:`repro.harness.sweeps.sweep_objtable_elision`.
 
@@ -352,7 +352,7 @@ def sweep_tag_cache_parallel(
         encoding: str = "extern4",
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_BLOCKS
+        engine: str = ENGINE_SUPERBLOCKS
 ) -> Dict[Tuple[str, int], Dict[str, float]]:
     """Sharded, cached tag-cache size sensitivity sweep (E9).
 
@@ -425,8 +425,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="on-disk result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk cache")
-    parser.add_argument("--engine", default=ENGINE_BLOCKS,
-                        help="execution engine (decoded|blocks|legacy)")
+    parser.add_argument("--engine", default=ENGINE_SUPERBLOCKS,
+                        help="execution engine "
+                             "(superblocks|blocks|decoded|legacy)")
     parser.add_argument("--sweep", choices=("objtable", "tagcache"),
                         default=None,
                         help="run a sensitivity sweep instead of a "

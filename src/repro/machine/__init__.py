@@ -18,6 +18,7 @@ from repro.machine.config import (
     ENGINE_BLOCKS,
     ENGINE_DECODED,
     ENGINE_LEGACY,
+    ENGINE_SUPERBLOCKS,
     ENGINES,
     MachineConfig,
     SafetyMode,
@@ -42,6 +43,7 @@ __all__ = [
     "ENGINE_BLOCKS",
     "ENGINE_DECODED",
     "ENGINE_LEGACY",
+    "ENGINE_SUPERBLOCKS",
     "ENGINES",
     "MachineConfig",
     "SafetyMode",

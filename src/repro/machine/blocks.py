@@ -48,6 +48,33 @@ runs:
    iteration: one table lookup, one limit compare against the whole
    block length, one call.
 
+4. **Superblock traces** (``engine="superblocks"``) — the trace tier
+   profiles block-entry counts in its run loop and, when a block
+   crosses the hotness threshold
+   (``MachineConfig.superblock_threshold``), chains it with its
+   dominant successors — fallthrough edges, unconditional jumps and
+   strongly entry-count-biased conditional edges, stopping at
+   ``call``/``callr``/``ret`` and at back-edges — into one generated
+   *trace closure* holding the fused templates of every constituent
+   block.  Off-trace branch directions compile to early returns
+   carrying an encoded side-exit index; the dispatch loop maps the
+   index to the exit pc and refunds the unexecuted tail of the
+   up-front instruction-count charge.  A hot loop body spanning
+   several blocks thus pays the table-lookup/limit-check/call tax
+   once per iteration instead of once per block.  The tier also
+   turns on the *full-coverage* instruction templates: sub-word and
+   generic-form load/store bodies and the ``setbound``/``sbrk``
+   environment ops fuse into the generated source (mirroring the
+   decoded closures statement for statement), so hot code no longer
+   leaves the generated code for those shapes.  Traces that could
+   bust the instruction limit mid-flight demote to their underlying
+   basic block for that dispatch; entries into the middle of a trace
+   simply dispatch the interior block (the block table is never
+   displaced).  Per-run introspection (traces formed, mean trace
+   length, side-exit rate, fallback single-steps, closure-fallback
+   shapes) lands in ``cpu.engine_stats`` and travels on
+   :class:`~repro.machine.cpu.RunResult`.
+
 Trap semantics stay **bit-identical** to the other engines without
 slowing the happy path: the generator records which source line
 belongs to which instruction offset, so when something raises, the
@@ -62,7 +89,9 @@ limit mid-flight.
 
 from __future__ import annotations
 
+import re
 import types
+import weakref
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
@@ -73,7 +102,14 @@ from repro.caches.fast import (
 )
 from repro.isa.opcodes import Op, REG_FP, REG_RA, REG_SP
 from repro.isa.program import Program
-from repro.layout import GLOBAL_BASE, HEAP_BASE, MASK32, MAXINT, STACK_TOP
+from repro.layout import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    MASK32,
+    MAXINT,
+    STACK_TOP,
+    to_signed,
+)
 from repro.machine.errors import (
     BoundsError,
     HaltSignal,
@@ -96,6 +132,12 @@ _TARGETED = frozenset({Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL})
 #: cap on fused block length; the capped tail simply becomes the next
 #: block, entered by fallthrough
 MAX_BLOCK_LEN = 64
+
+#: a conditional edge is "strongly biased" — and a trace may extend
+#: through it — when the chosen successor's entry count is at least
+#: this multiple of the other side's (+1 so a stone-cold other side
+#: still demands real evidence on the chosen side)
+TRACE_BIAS = 4
 
 
 class BasicBlock:
@@ -254,17 +296,62 @@ _SIGNED_CMPS = frozenset({Op.SLT, Op.SLE, Op.SGT, Op.SGE})
 _NONPROP = frozenset({Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
                       Op.SHL, Op.SHR, Op.SRA})
 
+#: superblock-tier inline bodies for the non-propagating ALU ops
+#: whose semantics are pure expressions (div/mod keep the closure —
+#: they raise).  The register forms mirror the ``_NONPROP_FNS``
+#: bodies over masked register values (``to_signed(a)`` is
+#: ``(a ^ MSB) - MSB`` for masked ``a``); the immediate forms bake
+#: the constant's transformation (sign-extension, shift masking) in
+#: at template-build time.
+_SGN = "((value[%s{i}] ^ " + _MSB + ") - " + _MSB + ")"
+_NP_RR_EXPR = {
+    Op.MUL: _SGN % "rs" + " * " + _SGN % "rt",
+    Op.AND: "value[rs{i}] & value[rt{i}]",
+    Op.OR: "value[rs{i}] | value[rt{i}]",
+    Op.XOR: "value[rs{i}] ^ value[rt{i}]",
+    Op.SHL: "value[rs{i}] << (value[rt{i}] & 31)",
+    Op.SHR: "value[rs{i}] >> (value[rt{i}] & 31)",
+    Op.SRA: _SGN % "rs" + " >> (value[rt{i}] & 31)",
+}
+_NP_RI_EXPR = {
+    Op.MUL: _SGN % "rs" + " * k{i}",
+    Op.AND: "value[rs{i}] & k{i}",
+    Op.OR: "value[rs{i}] | k{i}",
+    Op.XOR: "value[rs{i}] ^ k{i}",
+    Op.SHL: "value[rs{i}] << k{i}",
+    Op.SHR: "value[rs{i}] >> k{i}",
+    Op.SRA: _SGN % "rs" + " >> k{i}",
+}
+
+
+def _np_imm(op, k: int) -> int:
+    """The immediate exactly as the ``_NONPROP_FNS`` body consumes it."""
+    if op is Op.MUL:
+        return to_signed(k)
+    if op in (Op.SHL, Op.SHR, Op.SRA):
+        return k & 31
+    return k
+
 
 class _Part:
-    """One fused instruction: shape id, closure params, source lines."""
+    """One fused instruction: shape id, closure params, source lines.
 
-    __slots__ = ("shape", "params", "lines")
+    ``closure_pc`` is set on decoded-closure fallback parts: the pc
+    whose per-run closure is the part's first parameter value.  The
+    fusion plan cache stores specs with those positions marked so a
+    later run can re-bind its own closures (everything else — operand
+    registers, immediates, shared helper functions — is
+    program-stable).
+    """
+
+    __slots__ = ("shape", "params", "lines", "closure_pc")
 
     def __init__(self, shape: str, params: List[Tuple[str, object]],
-                 lines: List[str]):
+                 lines: List[str], closure_pc: Optional[int] = None):
         self.shape = shape
         self.params = params
         self.lines = lines
+        self.closure_pc = closure_pc
 
 
 class _FuseCtx:
@@ -279,18 +366,46 @@ class _FuseCtx:
     (TLB, L1, tag cache, L2): the inlined probe bodies unroll their
     way scans over it, so it is part of the memory templates' shape
     identity.
+
+    ``fuse_generic`` turns on the full-coverage templates of the
+    superblock tier: generic-form/sub-word load/store bodies and the
+    ``setbound``/``sbrk`` environment ops fuse as source-level
+    mirrors of the decoded *generic* closures (which call the same
+    env-bound engine entry points in the same order, so the
+    equivalence holds for every configuration, ablations and
+    substituted engines included).
     """
 
     __slots__ = ("observer_none", "full_mode", "fuse_hb_mem",
                  "hb_timing", "fuse_plain_mem", "plain_timing",
-                 "assoc_sig", "assoc_tag")
+                 "assoc_sig", "assoc_tag", "fuse_generic",
+                 "hb_present", "inline_check", "use_words",
+                 "has_temporal", "timing", "comp_expr", "comp_tag")
 
-    def __init__(self, env):
+    def __init__(self, env, fuse_generic=False):
         self.observer_none = env.observer is None
         self.full_mode = env.full_mode
+        self.fuse_generic = fuse_generic
+        self.hb_present = env.hb is not None
+        self.inline_check = env.inline_check
+        self.use_words = env.use_words
+        self.has_temporal = env.temporal_check is not None
+        # superblock tier: splice the stock encodings' compressibility
+        # decision straight into the metadata templates (subclassed
+        # encodings return None and keep the _isc call)
+        self.comp_expr = None
+        self.comp_tag = ""
+        if fuse_generic and env.hb is not None:
+            from repro.metadata.encodings import inline_compressible_expr
+            expr = inline_compressible_expr(env.hb.encoding,
+                                            "v", "mb", "mbd")
+            if expr is not None:
+                self.comp_expr = expr
+                self.comp_tag = "_c" + type(env.hb.encoding).__name__
         mem_ok = (env.use_words and env.temporal_check is None
                   and self.observer_none)
         timing = env.memsys is not None
+        self.timing = timing
         self.hb_timing = env.wprobe is not None
         self.fuse_hb_mem = (mem_ok and env.inline_check
                             and (not timing or self.hb_timing))
@@ -305,6 +420,14 @@ class _FuseCtx:
         else:
             self.assoc_sig = None
             self.assoc_tag = ""
+
+    def key(self) -> tuple:
+        """Everything template selection depends on (the plan key)."""
+        return (self.observer_none, self.full_mode, self.fuse_hb_mem,
+                self.hb_timing, self.fuse_plain_mem,
+                self.plain_timing, self.assoc_sig, self.fuse_generic,
+                self.hb_present, self.inline_check, self.use_words,
+                self.has_temporal, self.timing, self.comp_tag)
 
 
 # -- memory template fragments ----------------------------------------------
@@ -330,47 +453,71 @@ _STOP = str(STACK_TOP)
 # the generated source.
 
 
-def _word_read_lines(acc: str) -> List[str]:
-    """Merged segment check + flat-arena word read into ``v``."""
-    return [
-        "end = ea + 4",
+def _word_read_lines(acc: str, stack_first: bool = False) -> List[str]:
+    """Merged segment check + flat-arena word read into ``v``.
+
+    The three segment ranges are disjoint, so the check order is
+    unobservable (same value, same ``MemoryFault`` otherwise); the
+    superblock tier therefore probes the stack arena first for
+    frame-register addressing (``stack_first``), where the heap and
+    globals compares would almost always fail.
+    """
+    heap = [
         "if %s <= ea and end <= _mem.brk:" % _HEAP,
         "    v = _heap[1][(ea - %s) >> 2] if not ea & 3 "
         "else _rr(ea, 4)" % _HEAP,
-        "elif %s <= ea and end <= _gl:" % _GLOB,
+    ]
+    glob = [
+        "if %s <= ea and end <= _gl:" % _GLOB,
         "    v = _glob[1][(ea - %s) >> 2] if not ea & 3 "
         "else _rr(ea, 4)" % _GLOB,
-        "elif _sb <= ea and end <= %s:" % _STOP,
+    ]
+    stack = [
+        "if _sb <= ea and end <= %s:" % _STOP,
         "    v = _stk[1][(ea - _sb) >> 2] if not ea & 3 "
         "else _rr(ea, 4)",
-        "else:",
-        "    raise _mf(ea, %r)" % acc,
     ]
+    order = (stack + heap + glob) if stack_first \
+        else (heap + glob + stack)
+    lines = ["end = ea + 4"] + order[:2]
+    for branch in (order[2:4], order[4:6]):
+        lines.append("el" + branch[0])
+        lines.append(branch[1])
+    lines += ["else:", "    raise _mf(ea, %r)" % acc]
+    return lines
 
 
-def _word_write_lines(acc: str) -> List[str]:
+def _word_write_lines(acc: str, stack_first: bool = False) -> List[str]:
     """Merged segment check + flat-arena word write of ``v``."""
-    return [
-        "end = ea + 4",
-        "v = value[rd{i}]",
+    heap = [
         "if %s <= ea and end <= _mem.brk:" % _HEAP,
         "    if ea & 3:",
         "        _rw(ea, 4, v)",
         "    else:",
         "        _heap[1][(ea - %s) >> 2] = v" % _HEAP,
-        "elif %s <= ea and end <= _gl:" % _GLOB,
+    ]
+    glob = [
+        "if %s <= ea and end <= _gl:" % _GLOB,
         "    if ea & 3:",
         "        _rw(ea, 4, v)",
         "    else:",
         "        _glob[1][(ea - %s) >> 2] = v" % _GLOB,
-        "elif _sb <= ea and end <= %s:" % _STOP,
+    ]
+    stack = [
+        "if _sb <= ea and end <= %s:" % _STOP,
         "    if ea & 3:",
         "        _rw(ea, 4, v)",
         "    else:",
         "        _stk[1][(ea - _sb) >> 2] = v",
-        "else:",
-        "    raise _mf(ea, %r)" % acc,
     ]
+    order = (stack + heap + glob) if stack_first \
+        else (heap + glob + stack)
+    lines = ["end = ea + 4", "v = value[rd{i}]"] + order[:5]
+    for branch in (order[5:10], order[10:15]):
+        lines.append("el" + branch[0])
+        lines.extend(branch[1:])
+    lines += ["else:", "    raise _mf(ea, %r)" % acc]
+    return lines
 
 
 def _hb_check_lines(acc: str, si: bool, frame: bool,
@@ -401,8 +548,13 @@ def _hb_check_lines(acc: str, si: bool, frame: bool,
     return lines
 
 
-def _load_meta_lines(timing: bool) -> List[str]:
-    """HardBound word-load metadata path (load_word_meta inlined)."""
+def _load_meta_lines(timing: bool, comp: str) -> List[str]:
+    """HardBound word-load metadata path (load_word_meta inlined).
+
+    ``comp`` is the compressibility test: the ``_isc`` closure call,
+    or (superblock tier, stock encodings) the decision spliced in as
+    an inline expression.
+    """
     lines = [
         "meta = _mg(ea & -4)",
         "if meta is None:",
@@ -412,7 +564,7 @@ def _load_meta_lines(timing: bool) -> List[str]:
         "else:",
         "    mb, mbd = meta",
         "    _hbs.pointer_loads += 1",
-        "    if _isc(v, mb, mbd):",
+        "    if %s:" % comp,
         "        _hbs.compressed_loads += 1",
         "    else:",
         "        _hbs.meta_uops += 1",
@@ -427,7 +579,7 @@ def _load_meta_lines(timing: bool) -> List[str]:
     return lines
 
 
-def _store_meta_lines(timing: bool) -> List[str]:
+def _store_meta_lines(timing: bool, comp: str) -> List[str]:
     """HardBound word-store metadata path (store_word_meta inlined)."""
     lines = [
         "key = ea & -4",
@@ -438,7 +590,7 @@ def _store_meta_lines(timing: bool) -> List[str]:
         "else:",
         "    _meta[key] = (mb, mbd)",
         "    _hbs.pointer_stores += 1",
-        "    if _isc(v, mb, mbd):",
+        "    if %s:" % comp,
         "        _hbs.compressed_stores += 1",
         "    else:",
         "        _hbs.meta_uops += 1",
@@ -468,58 +620,221 @@ def _mem_part(instr, i: int, ctx: _FuseCtx) -> Optional[_Part]:
     else:
         ea_line = "ea = (value[rs{i}] + k{i}) & %s" % _M32
     params.append(("k%d" % i, instr.disp))
+    frame = instr.rs in (REG_SP, REG_FP)
+    stack_first = frame and ctx.fuse_generic
     if ctx.fuse_hb_mem:
-        frame = instr.rs in (REG_SP, REG_FP)
         timing = ctx.hb_timing
-        shape = "%shb_%s%d%d%d" % ("ld" if load else "st",
-                                   "si" if si else "s",
-                                   frame, ctx.full_mode, timing)
+        comp = ctx.comp_expr or "_isc(v, mb, mbd)"
+        shape = "%shb_%s%d%d%d%s%s" % ("ld" if load else "st",
+                                       "si" if si else "s",
+                                       frame, ctx.full_mode, timing,
+                                       ctx.comp_tag,
+                                       "sf" if stack_first else "")
         if timing:
             shape += ctx.assoc_tag
-            wprobe = list(word_probe_lines(*ctx.assoc_sig))
+            wprobe = list(word_probe_lines(
+                *ctx.assoc_sig, skip_cell=ctx.fuse_generic))
+            if ctx.fuse_generic:
+                shape += "_wsk"
         lines = [ea_line]
         lines += _hb_check_lines(acc, si, frame, ctx.full_mode)
         if load:
-            lines += _word_read_lines(acc)
+            lines += _word_read_lines(acc, stack_first)
             if timing:
                 lines += wprobe
-            lines += _load_meta_lines(timing)
+            lines += _load_meta_lines(timing, comp)
         else:
-            lines += _word_write_lines(acc)
+            lines += _word_write_lines(acc, stack_first)
             if timing:
                 lines += wprobe
-            lines += _store_meta_lines(timing)
+            lines += _store_meta_lines(timing, comp)
         return _Part(shape, params, lines)
     if ctx.fuse_plain_mem:
         timing = ctx.plain_timing
-        shape = "%spl_%s%d" % ("ld" if load else "st",
-                               "si" if si else "s", timing)
+        shape = "%spl_%s%d%s" % ("ld" if load else "st",
+                                 "si" if si else "s", timing,
+                                 "sf" if stack_first else "")
         if timing:
             shape += ctx.assoc_tag
             sig = ctx.assoc_sig
             dprobe = list(data_probe_lines(sig[0], sig[1], sig[3]))
         lines = [ea_line]
         if load:
-            lines += _word_read_lines(acc)
+            lines += _word_read_lines(acc, stack_first)
             if timing:
                 lines += dprobe
             lines += ["value[rd{i}] = v",
                       "rbase[rd{i}] = 0",
                       "rbound[rd{i}] = 0"]
         else:
-            lines += _word_write_lines(acc)
+            lines += _word_write_lines(acc, stack_first)
             if timing:
                 lines += dprobe
         return _Part(shape, params, lines)
     return None
 
 
+def _memgen_part(instr, i: int, ctx: _FuseCtx) -> Optional[_Part]:
+    """Fused mirror of the decoded *generic* load/store closure.
+
+    Covers every shape the decoded engine routes through
+    ``load_generic``/``store_generic`` — sub-word sizes, index-only
+    and absolute forms, ablated or substituted metadata engines,
+    classic timing model, observers and the temporal tracker — by
+    calling the same env-bound entry points (``mem_read``,
+    ``data_access``, ``hb.check``, ``hb.load_sub_meta``, ...) in the
+    same statement order, with the constant branches (is an engine
+    attached? an observer? word or sub-word?) resolved at
+    template-build time.  Shapes the decoded engine word-inlines are
+    declined here; :func:`_mem_part` or the closure fallback owns
+    them.
+    """
+    op_load = instr.op is Op.LOAD
+    rd, rs, rt = instr.rd, instr.rs, instr.rt
+    size = instr.size
+    if (ctx.hb_present and rs is not None and ctx.inline_check
+            and size == 4 and ctx.use_words):
+        return None  # decoded inlines these (load_s_word & friends)
+    if (not ctx.hb_present and size == 4 and rs is not None
+            and rt is None and ctx.use_words):
+        return None  # decoded inlines these (load_s_word_plain)
+    acc = "read" if op_load else "write"
+    checked = ctx.hb_present and rs is not None
+    params: List[Tuple[str, object]] = [("rd%d" % i, rd)]
+    # effective address, mirroring decode's make_ea forms
+    if rs is not None and rt is not None:
+        params += [("rs%d" % i, rs), ("rt%d" % i, rt),
+                   ("sc%d" % i, instr.scale), ("k%d" % i, instr.disp)]
+        lines = ["ea = (value[rs{i}] + value[rt{i}] * sc{i} + k{i})"
+                 " & %s" % _M32]
+        form = "si"
+    elif rs is not None:
+        params += [("rs%d" % i, rs), ("k%d" % i, instr.disp)]
+        lines = ["ea = (value[rs{i}] + k{i}) & %s" % _M32]
+        form = "s"
+    elif rt is not None:
+        params += [("rt%d" % i, rt), ("sc%d" % i, instr.scale),
+                   ("k%d" % i, instr.disp)]
+        lines = ["ea = (value[rt{i}] * sc{i} + k{i}) & %s" % _M32]
+        form = "i"
+    else:
+        params += [("k%d" % i, instr.disp & MASK32)]
+        lines = ["ea = k{i}"]
+        form = "a"
+    frame = rs in (REG_SP, REG_FP)
+    if checked:
+        # make_mem_check inlined: pick the guarding register
+        # (base preferred, index as fallback), exempt meta-less
+        # frame accesses, hand everything else to the engine's check
+        if rt is not None:
+            lines += [
+                "if rbase[rs{i}] or rbound[rs{i}]:",
+                "    sv = value[rs{i}]",
+                "    b = rbase[rs{i}]",
+                "    bd = rbound[rs{i}]",
+                "elif rbase[rt{i}] or rbound[rt{i}]:",
+                "    sv = value[rt{i}]",
+                "    b = rbase[rt{i}]",
+                "    bd = rbound[rt{i}]",
+                "else:",
+                "    sv = value[rs{i}]",
+                "    b = rbase[rs{i}]",
+                "    bd = rbound[rs{i}]",
+            ]
+        else:
+            lines += ["sv = value[rs{i}]",
+                      "b = rbase[rs{i}]",
+                      "bd = rbound[rs{i}]"]
+        call = ("_hbc(sv, b, bd, ea, %d, %r, %s)"
+                % (size, acc, ctx.full_mode))
+        if frame:
+            lines += ["if b or bd:", "    " + call]
+        else:
+            lines.append(call)
+    if ctx.has_temporal:
+        lines.append("_tc(ea, %d)" % size)
+    if op_load:
+        lines.append("v = _mr(ea, %d)" % size)
+    else:
+        lines += ["v = value[rd{i}]", "_mw(ea, %d, v)" % size]
+    if ctx.timing:
+        lines.append("_da(ea, %d, %s, 'data')" % (size, not op_load))
+    if not ctx.observer_none:
+        lines.append("_ob.on_mem(ea, %d, %s)" % (size, not op_load))
+    if op_load:
+        if ctx.hb_present and size == 4:
+            lines += ["b, bd = _hblw(ea, v)",
+                      "value[rd{i}] = v",
+                      "rbase[rd{i}] = b",
+                      "rbound[rd{i}] = bd"]
+        else:
+            if ctx.hb_present:
+                lines.append("_hbls(ea)")
+            lines += ["value[rd{i}] = v",
+                      "rbase[rd{i}] = 0",
+                      "rbound[rd{i}] = 0"]
+    elif ctx.hb_present:
+        if size == 4:
+            lines.append("_hbsw(ea, v, rbase[rd{i}], rbound[rd{i}])")
+        else:
+            lines.append("_hbss(ea)")
+    shape = "%sgen_%s%d%d%d%d%d%d%d" % (
+        "ld" if op_load else "st", form, size, frame, checked,
+        ctx.full_mode, ctx.has_temporal, ctx.timing,
+        not ctx.observer_none)
+    if ctx.hb_present:
+        shape += "h"
+    return _Part(shape, params, lines)
+
+
+def _setbound_part(instr, i: int, ctx: _FuseCtx) -> _Part:
+    """Fused ``setbound`` (build_setbound mirrored line for line)."""
+    params = [("rd%d" % i, instr.rd), ("rs%d" % i, instr.rs)]
+    lines = ["v = value[rs{i}]"]
+    if instr.rt is not None:
+        params.append(("rt%d" % i, instr.rt))
+        lines.append("sz = value[rt{i}]")
+        form = "r"
+    else:
+        params.append(("k%d" % i, instr.imm or 0))
+        lines.append("sz = k{i}")
+        form = "i"
+    lines += [
+        "value[rd{i}] = v",
+        "rbase[rd{i}] = v",
+        "rbound[rd{i}] = (v + sz) & %s" % _M32,
+        "_cpu.setbound_count += 1",
+    ]
+    if ctx.hb_present:
+        lines.append("_hbs.setbound_uops += 1")
+    if ctx.has_temporal:
+        lines.append("_tmp.mark_allocated(v, (v + sz) & %s)" % _M32)
+    if not ctx.observer_none:
+        lines.append("_ob.on_setbound(v, sz)")
+    shape = "setbound_%s%d%d%d" % (form, ctx.hb_present,
+                                   ctx.has_temporal,
+                                   not ctx.observer_none)
+    return _Part(shape, params, lines)
+
+
+def _sbrk_part(instr, i: int) -> _Part:
+    """Fused ``sbrk`` (build_sbrk mirrored line for line)."""
+    return _Part("sbrk",
+                 [("rd%d" % i, instr.rd), ("rs%d" % i, instr.rs)],
+                 ["v = _sbrk(_tsg(value[rs{i}]))",
+                  "value[rd{i}] = v",
+                  "rbase[rd{i}] = 0",
+                  "rbound[rd{i}] = 0"])
+
+
 def _closure_part(i: int, fn, terminator: bool,
                   term_pc: int) -> _Part:
     if terminator:
         return _Part("ft", [("f%d" % i, fn), ("t%d" % i, term_pc)],
-                     ["return f{i}(t{i})".format(i=i)])
-    return _Part("f", [("f%d" % i, fn)], ["f{i}(0)".format(i=i)])
+                     ["return f{i}(t{i})".format(i=i)],
+                     closure_pc=term_pc)
+    return _Part("f", [("f%d" % i, fn)], ["f{i}(0)".format(i=i)],
+                 closure_pc=term_pc)
 
 
 def _template_part(instr, i: int, pc: int,
@@ -535,7 +850,15 @@ def _template_part(instr, i: int, pc: int,
     full_mode = ctx.full_mode
     rd, rs, rt = instr.rd, instr.rs, instr.rt
     if op in (Op.LOAD, Op.STORE):
-        return _mem_part(instr, i, ctx)
+        part = _mem_part(instr, i, ctx)
+        if part is None and ctx.fuse_generic:
+            part = _memgen_part(instr, i, ctx)
+        return part
+    if ctx.fuse_generic:
+        if op is Op.SETBOUND:
+            return _setbound_part(instr, i, ctx)
+        if op is Op.SBRK:
+            return _sbrk_part(instr, i)
     if op is Op.MOV:
         if rs is not None:
             return _Part("movrr", [("rd%d" % i, rd), ("rs%d" % i, rs)],
@@ -601,6 +924,21 @@ def _template_part(instr, i: int, pc: int,
                       "rbase[rd{i}] = 0",
                       "rbound[rd{i}] = 0"])
     if op in _NONPROP:
+        if ctx.fuse_generic and op in _NP_RR_EXPR:
+            if rt is not None:
+                expr = _NP_RR_EXPR[op]
+                params = [("rd%d" % i, rd), ("rs%d" % i, rs),
+                          ("rt%d" % i, rt)]
+                shape = "npx_rr_" + op.value
+            else:
+                expr = _NP_RI_EXPR[op]
+                params = [("rd%d" % i, rd), ("rs%d" % i, rs),
+                          ("k%d" % i, _np_imm(op, instr.imm or 0))]
+                shape = "npx_ri_" + op.value
+            return _Part(shape, params,
+                         ["value[rd{i}] = (" + expr + ") & %s" % _M32,
+                          "rbase[rd{i}] = 0",
+                          "rbound[rd{i}] = 0"])
         from repro.machine.decode import _NONPROP_FNS
         fn = _NONPROP_FNS[op]
         if rt is not None:
@@ -672,6 +1010,54 @@ _fuse_cache: Dict[Tuple[str, ...], tuple] = {}
 #: block code object -> {line number -> instruction offset}
 _line_maps: Dict[object, Dict[int, int]] = {}
 
+
+class _CodeRef:
+    """Spec marker: 'this argument is the run's closure for ``pc``'."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self, pc: int):
+        self.pc = pc
+
+
+class _Plan:
+    """Program-keyed fusion plan (superblock tier).
+
+    The expensive parts of fusing a program — CFG discovery,
+    template selection, source assembly, chain growth — depend only
+    on the program and the template-selection context, not on the
+    run.  A plan records their outcome as ``(signature, spec)``
+    pairs: the signature keys the compiled fuser in ``_fuse_cache``,
+    the spec is the flat closure-argument vector with per-run decoded
+    closures marked by :class:`_CodeRef`.  Re-running the same
+    program (the sharded harness and the benchmarks do, constantly)
+    then reduces fusion to re-binding — and recorded traces install
+    at table-build time, so warm runs start fully trace-covered with
+    no profiling warm-up.
+    """
+
+    __slots__ = ("blocks", "traces", "fallback")
+
+    def __init__(self):
+        self.blocks = None
+        self.traces: Dict[int, tuple] = {}
+        self.fallback: Dict[str, int] = {}
+
+
+#: Program -> {plan key: _Plan}; weak so plans die with their program
+_plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _part_spec(parts: List[_Part]) -> list:
+    """Flat closure-argument vector with closure slots marked."""
+    spec: list = []
+    for part in parts:
+        values = [value for _, value in part.params]
+        if part.closure_pc is not None:
+            values[0] = _CodeRef(part.closure_pc)
+        spec.extend(values)
+    return spec
+
 #: template parameter name -> FastMemorySystem.inline_env field.
 #: Single source of truth for the fast memory-model inline
 #: environment (geometry, per-kind records, way tables and composite
@@ -694,26 +1080,40 @@ _MI_PARAMS = (
     ("_tb", "tag_base"), ("_ts", "tag_shift"),
     ("_wpm", "wp_mru"), ("_wps", "wp_shift"), ("_cmpw", "wp_composite"),
     ("_dpm", "dp_mru"), ("_cmpd", "dp_composite"),
+    ("_wsk", "wp_skip"),
 )
 
 #: shared environment parameters appended to every fuser signature:
 #: the register arrays, program length and code-pointer trap, then
 #: the memory environment (arena cells, segment bounds, raw spill
 #: entry points), the HardBound metadata environment, the fast
-#: memory-model inline environment, and the trap constructors the
-#: memory templates raise
+#: memory-model inline environment, the trap constructors the
+#: memory templates raise, and the generic entry points the
+#: full-coverage templates of the superblock tier call (the cpu,
+#: ``to_signed``, ``sbrk``, the byte-level memory accessors, the
+#: timing/temporal/observer hooks and the metadata-engine methods)
 _ENV_PARAMS = (
     "value", "rbase", "rbound", "_n", "_icpe",
     "_mem", "_heap", "_glob", "_stk", "_gl", "_sb", "_rr", "_rw",
     "_hbs", "_meta", "_mg", "_mp", "_isc", "_sp",
 ) + tuple(name for name, _ in _MI_PARAMS) + (
     "_be", "_npe", "_mf",
+    "_cpu", "_tsg", "_sbrk", "_mr", "_mw", "_da", "_tc", "_ob",
+    "_tmp", "_hbc", "_hblw", "_hbls", "_hbsw", "_hbss",
 )
 
 
 def _compile_fuser(signature: Tuple[str, ...],
-                   parts: List[_Part]):
-    """Compile (or fetch) the fuser for a block shape signature."""
+                   parts: List[_Part], localize: bool = False):
+    """Compile (or fetch) the fuser for a block shape signature.
+
+    With ``localize`` (the superblock tier — its cache keys carry an
+    ``"SB"`` marker so the two tiers never share a code object),
+    every bound name the body references is re-bound as a
+    default-valued parameter of the generated function: CPython then
+    reads it as a fast local instead of a closure cell on every
+    access, at the cost of one default copy per call.
+    """
     cached = _fuse_cache.get(signature)
     if cached is not None:
         return cached
@@ -729,6 +1129,14 @@ def _compile_fuser(signature: Tuple[str, ...],
             lines.append("        " + raw.format(**fmt))
             line_of[len(lines)] = offset
     lines.append("    return _block")
+    if localize:
+        referenced = set(re.findall(r"[A-Za-z_]\w*",
+                                    "\n".join(lines[2:-1])))
+        bound = [name for name in names + list(_ENV_PARAMS)
+                 if name in referenced]
+        lines[1] = ("    def _block(pc%s):"
+                    % "".join(", %s=%s" % (name, name)
+                              for name in bound))
     namespace: dict = {}
     exec(compile("\n".join(lines), _FUSE_FILENAME, "exec"), namespace)
     fuse = namespace["_fuse"]
@@ -739,6 +1147,159 @@ def _compile_fuser(signature: Tuple[str, ...],
     _fuse_cache[signature] = entry
     _line_maps[block_code] = line_of
     return entry
+
+
+class _Fuser:
+    """Per-run fusion state shared by the block and superblock tiers.
+
+    Holds the decoded closures, the template-selection context and
+    the bound environment value vector, and turns pc ranges into
+    parts and parts into compiled, bound closures.  The superblock
+    tier enables the full-coverage templates (``fuse_generic``) and
+    counts the instruction shapes that still fall back to decoded
+    closures in ``fallback_ops``.
+    """
+
+    __slots__ = ("cpu", "code", "instrs", "ctx", "env_vals",
+                 "fallback_ops", "cfg")
+
+    def __init__(self, cpu, code: list, env, fuse_generic=False,
+                 fallback_ops: Optional[Dict[str, int]] = None):
+        self.cpu = cpu
+        self.code = code
+        self.instrs = cpu.program.instrs
+        self.ctx = _FuseCtx(env, fuse_generic)
+        self.fallback_ops = fallback_ops
+        #: CFG blocks, retained by a cold block_table() build so
+        #: trace formation reuses them instead of re-discovering
+        self.cfg: Optional[List[BasicBlock]] = None
+        if isinstance(env.memsys, FastMemorySystem):
+            mi = env.memsys.inline_env(env.tag_base, env.tag_shift)
+        else:
+            mi = SimpleNamespace(**{field: None
+                                    for _, field in _MI_PARAMS})
+        env_map = {
+            "value": env.value, "rbase": env.rbase,
+            "rbound": env.rbound,
+            "_n": len(self.instrs), "_icpe": InvalidCodePointerError,
+            "_mem": env.memory, "_heap": env.heap_cell,
+            "_glob": env.glob_cell, "_stk": env.stack_cell,
+            "_gl": env.globals_limit, "_sb": env.stack_base,
+            "_rr": env.raw_read, "_rw": env.raw_write,
+            "_hbs": env.hb_stats, "_meta": env.meta_map,
+            "_mg": env.meta_get, "_mp": env.meta_pop,
+            "_isc": env.is_comp, "_sp": env.sprobe,
+            "_be": BoundsError, "_npe": NonPointerError,
+            "_mf": MemoryFault,
+            "_cpu": cpu, "_tsg": to_signed, "_sbrk": env.mem_sbrk,
+            "_mr": env.mem_read, "_mw": env.mem_write,
+            "_da": env.data_access, "_tc": env.temporal_check,
+            "_ob": env.observer, "_tmp": env.temporal,
+            "_hbc": env.hb_check, "_hblw": env.hb_load_word,
+            "_hbls": env.hb_load_sub, "_hbsw": env.hb_store_word,
+            "_hbss": env.hb_store_sub,
+        }
+        for name, field in _MI_PARAMS:
+            env_map[name] = getattr(mi, field)
+        self.env_vals = tuple(env_map[name] for name in _ENV_PARAMS)
+
+    def make_parts(self, start: int, count: int, base: int,
+                   last_is_term: bool,
+                   count_fallbacks: bool = True) -> List[_Part]:
+        """Parts for ``count`` instructions from ``start``.
+
+        ``base`` offsets the closure-parameter indices so parts of
+        several blocks can concatenate into one trace;
+        ``last_is_term`` marks whether the final instruction's
+        closure fallback may transfer control (block/trace tails do,
+        mid-trace bodies never).  Trace formation re-fuses pcs the
+        block table already counted, so it disables
+        ``count_fallbacks`` — the tally stays one entry per static
+        instruction site.
+        """
+        instrs, code, ctx = self.instrs, self.code, self.ctx
+        fallback = self.fallback_ops if count_fallbacks else None
+        parts: List[_Part] = []
+        for off in range(count):
+            pc = start + off
+            instr = instrs[pc]
+            i = base + off
+            part = _template_part(instr, i, pc, ctx)
+            if part is None:
+                if fallback is not None:
+                    key = instr.op.value
+                    fallback[key] = fallback.get(key, 0) + 1
+                part = _closure_part(
+                    i, code[pc], last_is_term and off == count - 1, pc)
+            parts.append(part)
+        return parts
+
+    def signature(self, parts: List[_Part]) -> Tuple[str, ...]:
+        """Fuser cache key; the superblock tier's carries a marker
+        (its code objects localize bound names, see
+        :func:`_compile_fuser`)."""
+        shapes = tuple(part.shape for part in parts)
+        return ("SB",) + shapes if self.ctx.fuse_generic else shapes
+
+    def bind(self, parts: List[_Part]):
+        """Compile (or fetch) the parts' fuser and bind the operands."""
+        fuse, _block_code = _compile_fuser(self.signature(parts), parts,
+                                           self.ctx.fuse_generic)
+        args = [value for part in parts for _, value in part.params]
+        return fuse(*(args + list(self.env_vals)))
+
+    def bind_spec(self, signature: Tuple[str, ...], spec: list):
+        """Re-bind a recorded ``(signature, spec)`` plan entry.
+
+        Only valid for signatures this process already compiled
+        (plans are only recorded after successful compilation, and
+        both caches live for the process); returns ``None`` if the
+        fuser is somehow absent so the caller can rebuild from
+        scratch.
+        """
+        cached = _fuse_cache.get(signature)
+        if cached is None:
+            return None
+        code = self.code
+        args = [code[value.pc] if type(value) is _CodeRef else value
+                for value in spec]
+        return cached[0](*(args + list(self.env_vals)))
+
+    def block_table(self, plan: Optional[_Plan] = None) -> list:
+        """Fuse every CFG block; pc-indexed ``(fn, len, fall, last)``
+        table (``None`` at non-block pcs).  With a ``plan``, re-bind
+        its recorded entries when present, else build from the CFG
+        and record."""
+        n = len(self.code)
+        if plan is not None and plan.blocks is not None:
+            table = [None] * n
+            for start, length, signature, spec in plan.blocks:
+                fn = self.bind_spec(signature, spec)
+                if fn is None:
+                    break
+                table[start] = (fn, length, start + length,
+                                start + length - 1)
+            else:
+                return table
+        table = [None] * n
+        records = [] if plan is not None else None
+        if self.fallback_ops is not None:
+            # a (re)build recounts every closure-fallback site from
+            # scratch; without this a shared plan tally would inflate
+            self.fallback_ops.clear()
+        self.cfg = build_cfg(self.cpu.program)
+        for block in self.cfg:
+            start, length = block.start, block.length
+            parts = self.make_parts(start, length, 0, True)
+            fn = self.bind(parts)
+            table[start] = (fn, length, start + length,
+                            start + length - 1)
+            if records is not None:
+                records.append((start, length, self.signature(parts),
+                                _part_spec(parts)))
+        if plan is not None:
+            plan.blocks = records
+        return table
 
 
 def build_block_table(cpu, code: list, env=None) -> list:
@@ -754,46 +1315,7 @@ def build_block_table(cpu, code: list, env=None) -> list:
 
     if env is None:
         env = bind_env(cpu)
-    program = cpu.program
-    instrs = program.instrs
-    ctx = _FuseCtx(env)
-    if isinstance(env.memsys, FastMemorySystem):
-        mi = env.memsys.inline_env(env.tag_base, env.tag_shift)
-    else:
-        mi = SimpleNamespace(**{field: None for _, field in _MI_PARAMS})
-    env_map = {
-        "value": env.value, "rbase": env.rbase, "rbound": env.rbound,
-        "_n": len(instrs), "_icpe": InvalidCodePointerError,
-        "_mem": env.memory, "_heap": env.heap_cell,
-        "_glob": env.glob_cell, "_stk": env.stack_cell,
-        "_gl": env.globals_limit, "_sb": env.stack_base,
-        "_rr": env.raw_read, "_rw": env.raw_write,
-        "_hbs": env.hb_stats, "_meta": env.meta_map,
-        "_mg": env.meta_get, "_mp": env.meta_pop,
-        "_isc": env.is_comp, "_sp": env.sprobe,
-        "_be": BoundsError, "_npe": NonPointerError,
-        "_mf": MemoryFault,
-    }
-    for name, field in _MI_PARAMS:
-        env_map[name] = getattr(mi, field)
-    env_vals = tuple(env_map[name] for name in _ENV_PARAMS)
-    table: list = [None] * len(code)
-    for block in build_cfg(program):
-        start, length = block.start, block.length
-        parts: List[_Part] = []
-        for offset in range(length):
-            pc = start + offset
-            part = _template_part(instrs[pc], offset, pc, ctx)
-            if part is None:
-                part = _closure_part(offset, code[pc],
-                                     offset == length - 1, pc)
-            parts.append(part)
-        signature = tuple(part.shape for part in parts)
-        fuse, _block_code = _compile_fuser(signature, parts)
-        args = [value for part in parts for _, value in part.params]
-        fn = fuse(*(args + list(env_vals)))
-        table[start] = (fn, length, start + length, start + length - 1)
-    return table
+    return _Fuser(cpu, code, env).block_table()
 
 
 def _trap_offset(exc: BaseException) -> Optional[int]:
@@ -813,6 +1335,26 @@ def _trap_offset(exc: BaseException) -> Optional[int]:
             offset = line_of.get(tb.tb_lineno, offset)
         tb = tb.tb_next
     return offset
+
+
+def _rewind(exc: BaseException, icount: int, lpc: int, blen: int,
+            tpcs: Optional[tuple]):
+    """Map a mid-dispatch exception to ``(icount, pc)``.
+
+    The dispatch loops charge a whole block or trace up front; when
+    an exception maps to an instruction offset inside the generated
+    frame, the unexecuted tail is refunded and the faulting pc
+    recovered — positionally for contiguous blocks, through the
+    trace's offset→pc table (``tpcs``) otherwise.  Returns ``None``
+    when the exception did not pass through a generated frame
+    (single-step dispatch or the driver itself); both run loops
+    share this so the attribution arithmetic exists exactly once.
+    """
+    offset = _trap_offset(exc)
+    if offset is None:
+        return None
+    pc = tpcs[offset] if tpcs is not None else lpc - blen + 1 + offset
+    return icount - (blen - offset - 1), pc
 
 
 # -- block-threaded run loop -------------------------------------------------
@@ -860,20 +1402,18 @@ def execute_blocks(cpu):
             npc = code[pc](pc)
             pc = pc + 1 if npc is None else npc
     except HaltSignal as halt:
-        offset = _trap_offset(halt)
-        if offset is None:
+        state = _rewind(halt, icount, lpc, blen, None)
+        if state is None:
             cpu.icount = icount
             cpu.pc = pc
         else:
-            cpu.icount = icount - (blen - offset - 1)
-            cpu.pc = lpc - blen + 1 + offset
+            cpu.icount, cpu.pc = state
         return RunResult(cpu, halt.code)
     except IndexError as exc:
-        offset = _trap_offset(exc)
-        if offset is not None:
+        state = _rewind(exc, icount, lpc, blen, None)
+        if state is not None:
             # genuine IndexError inside a fused instruction
-            cpu.icount = icount - (blen - offset - 1)
-            cpu.pc = lpc - blen + 1 + offset
+            cpu.icount, cpu.pc = state
             raise
         if 0 <= pc < n:
             # genuine IndexError in a single-stepped closure
@@ -887,20 +1427,357 @@ def execute_blocks(cpu):
         cpu.pc = lpc
         raise MemoryFault(pc, "fetch").at(lpc)
     except Trap as trap:
-        offset = _trap_offset(trap)
-        if offset is None:
+        state = _rewind(trap, icount, lpc, blen, None)
+        if state is None:
             cpu.icount = icount
             cpu.pc = lpc
             raise trap.at(lpc)
-        cpu.icount = icount - (blen - offset - 1)
-        cpu.pc = lpc - blen + 1 + offset
+        cpu.icount, cpu.pc = state
         raise trap.at(cpu.pc)
     except BaseException as exc:
-        offset = _trap_offset(exc)
-        if offset is None:
+        state = _rewind(exc, icount, lpc, blen, None)
+        if state is None:
             cpu.icount = icount
             cpu.pc = lpc
         else:
-            cpu.icount = icount - (blen - offset - 1)
-            cpu.pc = lpc - blen + 1 + offset
+            cpu.icount, cpu.pc = state
         raise
+
+
+# -- superblock traces --------------------------------------------------------
+
+#: trace-extension stoppers: control leaves the trace through an
+#: indirect or cross-procedure edge (or the program ends)
+_TRACE_STOPS = frozenset({Op.CALL, Op.CALLR, Op.RET, Op.HALT,
+                          Op.ABORT})
+
+
+def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
+                  counts: List[int], instrs, max_blocks: int,
+                  n: int) -> List[BasicBlock]:
+    """Grow the superblock chain from a hot head block.
+
+    Follows fallthrough edges, unconditional jumps and conditional
+    edges whose entry-count profile is strongly biased
+    (:data:`TRACE_BIAS`); stops at calls, returns, indirect
+    transfers, program exit, the trace-length cap and any block
+    already in the chain (back-edges close loops at the dispatch
+    level, one trace per iteration).
+    """
+    chain = [blocks_by_start[head]]
+    seen = {head}
+    while len(chain) < max_blocks:
+        block = chain[-1]
+        term = instrs[block.end - 1]
+        op = term.op
+        if op in _TRACE_STOPS:
+            break
+        if op is Op.JMP:
+            nxt = term.target
+        elif op in (Op.BEQZ, Op.BNEZ):
+            target = term.target
+            fall = block.end
+            if target == fall:
+                break
+            taken = counts[target] if 0 <= target < n else 0
+            fallc = counts[fall] if fall < n else 0
+            if taken >= TRACE_BIAS * (fallc + 1):
+                nxt = target
+            elif fallc >= TRACE_BIAS * (taken + 1):
+                nxt = fall
+            else:
+                break
+        else:
+            nxt = block.end  # leader-split or capped fallthrough
+        if nxt is None or not 0 <= nxt < n or nxt in seen:
+            break
+        nxt_block = blocks_by_start.get(nxt)
+        if nxt_block is None:
+            break
+        chain.append(nxt_block)
+        seen.add(nxt)
+    return chain
+
+
+def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
+                counts: List[int], fuser: _Fuser, max_blocks: int,
+                base_entry: tuple, plan: Optional[_Plan] = None):
+    """Fuse the hot chain from ``head`` into one trace closure.
+
+    Returns ``(entry, n_blocks)`` where ``entry`` is a 5-slot
+    dispatch tuple ``(fn, tlen, fall, last, (pcs, exits,
+    base_entry))`` — or ``None`` when no chain longer than one block
+    exists.  ``pcs`` maps trace instruction offsets back to
+    program pcs (trap attribution); each exit is ``(exit_pc,
+    remaining, branch_pc)``: the pc execution leaves to, the
+    unexecuted instruction count to refund, and the branch that took
+    the exit (the new last-executed pc).  Mid-trace branches whose
+    biased direction stays on-trace compile to ``if <off-trace
+    cond>: return -(k+1)``; on-trace unconditional jumps compile to
+    nothing (their instruction slot is still charged and mapped).
+    """
+    instrs = fuser.instrs
+    n = len(instrs)
+    chain = _chain_blocks(head, blocks_by_start, counts, instrs,
+                          max_blocks, n)
+    if len(chain) < 2:
+        return None
+    parts: List[_Part] = []
+    pcs: List[int] = []
+    raw_exits: List[tuple] = []
+    last_index = len(chain) - 1
+    for bi, block in enumerate(chain):
+        if bi == last_index:
+            # the trace tail keeps its full block semantics: the
+            # terminator template (or closure) returns the next pc
+            parts += fuser.make_parts(block.start, block.length,
+                                      len(pcs), True,
+                                      count_fallbacks=False)
+            pcs.extend(range(block.start, block.end))
+            continue
+        term = instrs[block.end - 1]
+        op = term.op
+        body = (block.length - 1
+                if op in (Op.JMP, Op.BEQZ, Op.BNEZ) else block.length)
+        parts += fuser.make_parts(block.start, body, len(pcs), False,
+                                  count_fallbacks=False)
+        pcs.extend(range(block.start, block.start + body))
+        if body == block.length:
+            continue  # pure fallthrough into the next chained block
+        i = len(pcs)
+        if op is Op.JMP:
+            # on-trace unconditional jump: charged and pc-mapped but
+            # emits no code (it cannot trap, and control simply runs
+            # on into the next chained block's templates)
+            parts.append(_Part("jel", [], []))
+        else:
+            taken_biased = chain[bi + 1].start == term.target
+            exit_pc = block.end if taken_biased else term.target
+            if op is Op.BEQZ:
+                cond = "!=" if taken_biased else "=="
+            else:
+                cond = "==" if taken_biased else "!="
+            encoded = -(len(raw_exits) + 1)
+            raw_exits.append((exit_pc, block.end - 1, i))
+            parts.append(_Part(
+                "sx" + cond,
+                [("rs%d" % i, term.rs), ("x%d" % i, encoded)],
+                ["if value[rs{i}] %s 0:" % cond,
+                 "    return x{i}"]))
+        pcs.append(block.end - 1)
+    tlen = len(pcs)
+    exits = tuple((exit_pc, tlen - offset - 1, branch_pc)
+                  for exit_pc, branch_pc, offset in raw_exits)
+    fn = fuser.bind(parts)
+    tail = chain[-1]
+    if plan is not None:
+        plan.traces[head] = (fuser.signature(parts),
+                             _part_spec(parts), tlen, tail.end,
+                             tail.end - 1, tuple(pcs), exits,
+                             len(chain))
+    return ((fn, tlen, tail.end, tail.end - 1,
+             (tuple(pcs), exits, base_entry)), len(chain))
+
+
+def _introspection(trace_sizes, trace_dispatches, side_exits,
+                   single_steps, fallback_ops, counts) -> dict:
+    """The ``cpu.engine_stats`` record of a superblocks run."""
+    formed = len(trace_sizes)
+    return {
+        "engine": "superblocks",
+        "traces_formed": formed,
+        "mean_trace_blocks": (sum(trace_sizes) / formed
+                              if formed else 0.0),
+        "trace_dispatches": trace_dispatches,
+        # the entry-count profile doubles as the block-tier tally:
+        # every direct block-tier entry bumps its head pc (the last
+        # few entries of a limit-bound run may re-count as fallback
+        # single-steps when the whole-block charge no longer fits)
+        "block_dispatches": sum(counts),
+        "side_exits": side_exits,
+        "side_exit_rate": (side_exits / trace_dispatches
+                           if trace_dispatches else 0.0),
+        "fallback_steps": single_steps,
+        "closure_fallback_ops": dict(fallback_ops),
+    }
+
+
+def execute_superblocks(cpu):
+    """Run ``cpu`` to halt on the superblock trace tier.
+
+    Starts from the same fused block table as
+    :func:`execute_blocks` (with the full-coverage templates turned
+    on), profiles block-entry counts, and promotes hot blocks to
+    cross-block trace closures.  Observable behaviour is
+    bit-identical to every other engine: statistics, trap
+    types/messages, faulting pc and instruction count on every exit
+    path.  Traces that could cross the instruction limit demote to
+    their underlying block for that dispatch (and blocks to
+    single-stepping, exactly like the blocks engine); control
+    transfers into the middle of a trace dispatch the interior block
+    or single-step.  Engine introspection is left in
+    ``cpu.engine_stats``.
+    """
+    from repro.machine.cpu import RunResult
+    from repro.machine.decode import bind_env, decode_program
+
+    env = bind_env(cpu)
+    code = decode_program(cpu, env, lazy=True)
+    config = cpu.config
+    threshold = config.superblock_threshold
+    max_blocks = config.superblock_max_blocks
+    fuser = _Fuser(cpu, code, env, fuse_generic=True)
+    program = cpu.program
+    plans = _plan_cache.get(program)
+    if plans is None:
+        plans = _plan_cache[program] = {}
+    plan_key = fuser.ctx.key() + (threshold, max_blocks)
+    plan = plans.get(plan_key)
+    if plan is None:
+        plan = plans[plan_key] = _Plan()
+    fallback_ops = plan.fallback
+    fuser.fallback_ops = fallback_ops
+    n = len(code)
+    table: list = [None] * n
+    for entry_pc, base in enumerate(fuser.block_table(plan)):
+        if base is not None:
+            table[entry_pc] = base + (None,)
+    counts = [0] * n
+    trace_sizes: List[int] = []
+    # recorded traces from earlier runs of this program install at
+    # build time: warm runs start fully trace-covered
+    for head, rec in plan.traces.items():
+        base = table[head]
+        if base is None:
+            continue
+        (signature, spec, tlen, fall, last, pcs, exits,
+         n_blocks) = rec
+        fn = fuser.bind_spec(signature, spec)
+        if fn is None:
+            continue
+        table[head] = (fn, tlen, fall, last, (pcs, exits, base))
+        trace_sizes.append(n_blocks)
+    #: CFG nodes for chain growth, built on the first formation
+    blocks_by_start: Optional[Dict[int, BasicBlock]] = None
+    limit = config.max_instructions
+    pc = cpu.pc
+    lpc = pc
+    icount = cpu.icount
+    blen = 1
+    tpcs = None
+    trace_dispatches = 0
+    side_exits = 0
+    single_steps = 0
+    stats_done = False
+    try:
+        while True:
+            entry = table[pc]
+            if entry is not None:
+                fn, blen, fall, last, extra = entry
+                if extra is not None:
+                    nic = icount + blen
+                    if nic <= limit:
+                        icount = nic
+                        lpc = last
+                        tpcs = extra[0]
+                        trace_dispatches += 1
+                        npc = fn(pc)
+                        if npc is None:
+                            pc = fall
+                        elif npc >= 0:
+                            pc = npc
+                        else:
+                            exit_pc, rem, bpc = extra[1][-1 - npc]
+                            icount -= rem
+                            lpc = bpc
+                            side_exits += 1
+                            pc = exit_pc
+                        continue
+                    # the whole-trace charge would overrun the
+                    # instruction limit: demote to the underlying
+                    # block for this dispatch
+                    fn, blen, fall, last, extra = extra[2]
+                else:
+                    c = counts[pc] + 1
+                    counts[pc] = c
+                    if c == threshold and max_blocks > 1:
+                        if blocks_by_start is None:
+                            cfg = (fuser.cfg
+                                   if fuser.cfg is not None
+                                   else build_cfg(program))
+                            blocks_by_start = {block.start: block
+                                               for block in cfg}
+                        formed = _form_trace(pc, blocks_by_start,
+                                             counts, fuser,
+                                             max_blocks, entry, plan)
+                        if formed is not None:
+                            table[pc] = formed[0]
+                            trace_sizes.append(formed[1])
+                nic = icount + blen
+                if nic <= limit:
+                    icount = nic
+                    lpc = last
+                    tpcs = None
+                    npc = fn(pc)
+                    pc = fall if npc is None else npc
+                    continue
+            # single-step: mid-block entry, or the limit may fire
+            # within the block — mirror the decoded loop exactly
+            lpc = pc
+            tpcs = None
+            single_steps += 1
+            icount += 1
+            if icount > limit:
+                raise InstructionLimitExceeded(limit)
+            npc = code[pc](pc)
+            pc = pc + 1 if npc is None else npc
+    except HaltSignal as halt:
+        state = _rewind(halt, icount, lpc, blen, tpcs)
+        if state is None:
+            cpu.icount = icount
+            cpu.pc = pc
+        else:
+            cpu.icount, cpu.pc = state
+        cpu.engine_stats = _introspection(
+            trace_sizes, trace_dispatches, side_exits, single_steps,
+            fallback_ops, counts)
+        stats_done = True
+        return RunResult(cpu, halt.code)
+    except IndexError as exc:
+        state = _rewind(exc, icount, lpc, blen, tpcs)
+        if state is not None:
+            # genuine IndexError inside a fused instruction
+            cpu.icount, cpu.pc = state
+            raise
+        if 0 <= pc < n:
+            # genuine IndexError in a single-stepped closure
+            cpu.icount = icount
+            cpu.pc = lpc
+            raise
+        cpu.icount = icount
+        cpu.pc = lpc
+        raise MemoryFault(pc, "fetch").at(lpc)
+    except Trap as trap:
+        state = _rewind(trap, icount, lpc, blen, tpcs)
+        if state is None:
+            cpu.icount = icount
+            cpu.pc = lpc
+            raise trap.at(lpc)
+        cpu.icount, cpu.pc = state
+        raise trap.at(cpu.pc)
+    except BaseException as exc:
+        state = _rewind(exc, icount, lpc, blen, tpcs)
+        if state is None:
+            cpu.icount = icount
+            cpu.pc = lpc
+        else:
+            cpu.icount, cpu.pc = state
+        raise
+    finally:
+        # the halt path snapshots before building its RunResult (the
+        # result captures engine_stats at construction); only the
+        # trap paths still need the snapshot here
+        if not stats_done:
+            cpu.engine_stats = _introspection(
+                trace_sizes, trace_dispatches, side_exits,
+                single_steps, fallback_ops, counts)

@@ -11,7 +11,9 @@ from repro.layout import STACK_SIZE
 ENGINE_DECODED = "decoded"
 ENGINE_LEGACY = "legacy"
 ENGINE_BLOCKS = "blocks"
-ENGINES = (ENGINE_DECODED, ENGINE_LEGACY, ENGINE_BLOCKS)
+ENGINE_SUPERBLOCKS = "superblocks"
+ENGINES = (ENGINE_DECODED, ENGINE_LEGACY, ENGINE_BLOCKS,
+           ENGINE_SUPERBLOCKS)
 
 
 class SafetyMode(enum.Enum):
@@ -57,16 +59,28 @@ class MachineConfig:
         Whether to run the cache/TLB timing model.  Functional tests
         turn it off for speed.
     ``engine``
-        Execution engine: ``"blocks"`` (default) fuses straight-line
-        runs into basic-block superinstructions — including the word
-        load/store bodies over the flat-bytearray heap — and pairs
-        them with the fast memory-timing model
-        (:class:`~repro.caches.fast.FastMemorySystem`); ``"decoded"``
+        Execution engine: ``"superblocks"`` (default) adds a trace
+        tier on top of the block engine — hot blocks are chained with
+        their dominant successors into single generated *trace
+        closures* with branch side-exits, and every instruction shape
+        (including sub-word load/store and the ``setbound``/``sbrk``
+        environment ops) fuses into the generated code; ``"blocks"``
+        fuses straight-line runs into basic-block superinstructions —
+        including the word load/store bodies over the flat-bytearray
+        heap; both pair with the fast memory-timing model
+        (:class:`~repro.caches.fast.FastMemorySystem`).  ``"decoded"``
         pre-decodes the program into per-instruction closures with
         operand forms resolved once; ``"legacy"`` is the original
         per-instruction dispatch loop, retained for differential
-        testing.  All three produce bit-identical
+        testing.  All four produce bit-identical
         :class:`~repro.machine.cpu.RunResult` statistics.
+    ``superblock_threshold``
+        Block-entry count at which the superblock tier attempts to
+        grow a trace from that block (hotness knob; only read by
+        ``engine="superblocks"``).
+    ``superblock_max_blocks``
+        Maximum number of basic blocks chained into one trace
+        (max-trace-length knob).
     ``retain_cpu``
         Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
         on the returned :class:`~repro.machine.cpu.RunResult` so its
@@ -81,7 +95,9 @@ class MachineConfig:
     check_uop: bool = False
     check_access_extent: bool = False
     timing: bool = True
-    engine: str = ENGINE_BLOCKS
+    engine: str = ENGINE_SUPERBLOCKS
+    superblock_threshold: int = 64
+    superblock_max_blocks: int = 8
     retain_cpu: bool = False
     stack_size: int = STACK_SIZE
     max_instructions: int = 200_000_000

@@ -35,6 +35,7 @@ from repro.layout import (
 from repro.machine.config import (
     ENGINE_BLOCKS,
     ENGINE_DECODED,
+    ENGINE_SUPERBLOCKS,
     MachineConfig,
     SafetyMode,
 )
@@ -73,6 +74,10 @@ class RunResult:
         self.hb_stats = cpu.hb.stats if cpu.hb else None
         self.mem_stats = cpu.memsys.stats if cpu.memsys else None
         self.setbound_uops = cpu.setbound_count
+        #: engine-introspection snapshot (traces formed, side-exit
+        #: rate, fallback single-steps, ...); ``None`` for engines
+        #: that record none — see repro.machine.blocks
+        self.engine_stats = getattr(cpu, "engine_stats", None)
         self._cpu_strong = cpu if cpu.config.retain_cpu else None
         self._cpu_weak = weakref.ref(cpu)
 
@@ -162,10 +167,11 @@ class CPU:
             params = cache_params or CacheParams()
             if cache_params is None:
                 params.tag_cache_size = encoding.tag_cache_size
-            # the blocks engine pairs with the fast timing model;
-            # both models are counter-identical (tests/caches)
+            # the block-fusion engines pair with the fast timing
+            # model; both models are counter-identical (tests/caches)
             memsys_cls = (FastMemorySystem
-                          if self.config.engine == ENGINE_BLOCKS
+                          if self.config.engine in (ENGINE_BLOCKS,
+                                                    ENGINE_SUPERBLOCKS)
                           else MemorySystem)
             self.memsys: Optional[MemorySystem] = memsys_cls(params)
         else:
@@ -218,12 +224,15 @@ class CPU:
         """Execute until ``halt``; traps raise annotated exceptions.
 
         Dispatches to the engine selected by ``config.engine``: the
-        basic-block fusion engine (default), the pre-decoded
-        closure-threaded engine, or the legacy per-instruction
-        dispatch loop.  All are bit-identical in results and trap
-        behaviour.
+        superblock trace engine (default), the basic-block fusion
+        engine, the pre-decoded closure-threaded engine, or the
+        legacy per-instruction dispatch loop.  All are bit-identical
+        in results and trap behaviour.
         """
         if not self.force_legacy:
+            if self.config.engine == ENGINE_SUPERBLOCKS:
+                from repro.machine.blocks import execute_superblocks
+                return execute_superblocks(self)
             if self.config.engine == ENGINE_DECODED:
                 from repro.machine.decode import execute_decoded
                 return execute_decoded(self)

@@ -66,6 +66,35 @@ from repro.machine.errors import (
 DecodedOp = Callable[[int], Optional[int]]
 
 
+class _LazyCode:
+    """List-like decoded stream that builds closures on first use.
+
+    The superblock engine fuses almost every instruction into
+    generated code, so most decoded closures exist only as the
+    single-step fallback and are never called; building them eagerly
+    is pure per-run overhead.  Indexing builds and memoizes the
+    closure; out-of-range pcs raise ``IndexError`` exactly like the
+    eager list, which the run loops translate into fetch faults.
+    """
+
+    __slots__ = ("_builders", "_instrs", "_cache")
+
+    def __init__(self, builders, instrs):
+        self._builders = builders
+        self._instrs = instrs
+        self._cache: List[Optional[DecodedOp]] = [None] * len(instrs)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, pc: int) -> DecodedOp:
+        fn = self._cache[pc]
+        if fn is None:
+            instr = self._instrs[pc]
+            fn = self._cache[pc] = self._builders[instr.op](instr)
+        return fn
+
+
 # -- non-propagating ALU semantics (shared with the legacy handlers) -----
 
 def _mul(a: int, b: int) -> int:
@@ -124,12 +153,19 @@ _SIGNED_CMPS = frozenset({Op.SLT, Op.SLE, Op.SGT, Op.SGE})
 def bind_env(cpu) -> SimpleNamespace:
     """Bind the per-run state the execution engines close over.
 
-    Shared between :func:`decode_program` and the block fuser
-    (:mod:`repro.machine.blocks`) so both reference the *same* probe
-    closures, counter cells and memory arena cells — a prerequisite
-    for the counter bit-identity the differential suite enforces
-    (two independently created probes would still agree, but sharing
-    one set makes the equivalence structural rather than incidental).
+    Shared between :func:`decode_program` and the block/superblock
+    fuser (:mod:`repro.machine.blocks`) so both reference the *same*
+    probe closures, counter cells and memory arena cells — a
+    prerequisite for the counter bit-identity the differential suite
+    enforces (two independently created probes would still agree,
+    but sharing one set makes the equivalence structural rather than
+    incidental).  The env also exposes every generic entry point the
+    builders below call (``mem_read``/``mem_write``/``mem_sbrk``,
+    ``temporal_check``, the observer, ``hb_check`` and the
+    ``load_sub``/``store_sub`` metadata paths): the superblock
+    tier's full-coverage templates mirror the generic closure bodies
+    by calling exactly these bound names in the same order, so the
+    two dispatch styles cannot drift apart.
     """
     env = SimpleNamespace()
     regs = cpu.regs
@@ -251,14 +287,18 @@ def bind_env(cpu) -> SimpleNamespace:
     return env
 
 
-def decode_program(cpu, env: SimpleNamespace = None) -> List[DecodedOp]:
+def decode_program(cpu, env: SimpleNamespace = None,
+                   lazy: bool = False) -> List[DecodedOp]:
     """Specialize ``cpu.program`` into per-instruction closures.
 
     All per-run state (register arrays, memory arenas, metadata
     engine, observers) is bound into closure cells here, once, so the
     closures touch no ``self`` attributes on the hot path.  Pass a
     pre-built ``env`` (from :func:`bind_env`) to share the bound
-    state with the block fuser.
+    state with the block fuser.  With ``lazy`` the result is a
+    :class:`_LazyCode` that builds each closure on first index — the
+    superblock engine's choice, since its fused templates leave most
+    closures unused.
     """
     if env is None:
         env = bind_env(cpu)
@@ -1249,6 +1289,8 @@ def decode_program(cpu, env: SimpleNamespace = None) -> List[DecodedOp]:
         Op.PRINTS: build_prints,
         Op.HALT: build_halt, Op.ABORT: build_abort,
     }
+    if lazy:
+        return _LazyCode(builders, cpu.program.instrs)
     return [builders[instr.op](instr) for instr in cpu.program.instrs]
 
 

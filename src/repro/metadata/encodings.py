@@ -204,6 +204,37 @@ def make_inline_compressible(encoding: Encoding):
     return None
 
 
+def inline_compressible_expr(encoding: Encoding, value: str,
+                             base: str, bound: str):
+    """Source-expression equivalent of ``encoding.is_compressible``.
+
+    Returns a boolean Python expression over the three given variable
+    names, with the same decision procedure as the stock encodings'
+    ``is_compressible`` (no sub-calls, no method dispatch) — the
+    superblock tier's fused metadata templates splice it straight
+    into generated code.  Returns ``None`` for subclassed or unknown
+    encodings, exactly like :func:`make_inline_compressible`, so an
+    override can never be silently bypassed.
+    """
+    cls = type(encoding)
+    if cls is UncompressedEncoding:
+        return "False"
+    small = ("{v} == {b} and {bd} > {b} and ({bd} - {b}) % 4 == 0"
+             " and {bd} - {b} <= 56").format(v=value, b=base, bd=bound)
+    window = ("({v} < {lo} or {v} >= {hi})"
+              .format(v=value, lo=_INTERNAL_WINDOW, hi=_WINDOW_TOP))
+    if cls is External4Encoding:
+        return "(%s)" % small
+    if cls is Internal4Encoding:
+        return "(%s and %s)" % (small, window)
+    if cls is Internal11Encoding:
+        return ("({v} == {b} and {bd} > {b} and ({bd} - {b}) % 4 == 0"
+                " and {bd} - {b} <= {mx} and {w})"
+                .format(v=value, b=base, bd=bound,
+                        mx=Internal11Encoding.max_size, w=window))
+    return None
+
+
 def get_encoding(name: str) -> Encoding:
     """Instantiate an encoding by registry name."""
     try:

@@ -1,0 +1,353 @@
+"""Superblock trace-engine tests: formation, edge cases, coverage.
+
+The trace tier must be bit-identical to every other engine on every
+exit path — including traps raised mid-trace, side exits into cold
+code, control transfers into the middle of a trace, and instruction
+limits that would fire inside one.  The full-registry sweep at the
+bottom closes the four-way equivalence chain over all nine Olden
+workloads (``superblocks`` vs ``blocks`` here; ``blocks`` vs
+``legacy``/``decoded`` in ``test_engine_differential``).
+"""
+
+import pytest
+
+from repro.harness.runner import compile_cached, run_workload
+from repro.isa import assemble
+from repro.machine import CPU, MachineConfig
+from repro.minic.driver import mode_for_config
+from repro.workloads.registry import WORKLOADS
+
+ENGINES = ("legacy", "decoded", "blocks", "superblocks")
+
+#: low threshold so unit-test loops form traces within a few dozen
+#: iterations
+HOT = dict(superblock_threshold=8)
+
+
+def run_all(program, mode_fn, timing=False, **kw):
+    """Run under all four engines; assert identical, return superblocks."""
+    results = {}
+    cpus = {}
+    for engine in ENGINES:
+        cpu = CPU(program, mode_fn(timing=timing, engine=engine, **kw))
+        r = cpu.run()
+        results[engine] = (r.exit_code, r.instructions, r.uops,
+                           r.stall_cycles, r.cycles, cpu.pc,
+                           cpu.memory.nonzero_pages())
+        cpus[engine] = cpu
+    for engine in ENGINES[1:]:
+        assert results[engine] == results["legacy"], engine
+    return cpus["superblocks"]
+
+
+LOOP = """
+main:
+    mov r1, 0
+    mov r2, 200
+head:
+    beqz r2, done
+    add r1, r1, 3
+    sub r2, r2, 1
+    jmp head
+done:
+    halt r1
+"""
+
+
+class TestTraceFormation:
+    def test_hot_loop_forms_trace_and_matches(self):
+        cpu = run_all(assemble(LOOP), MachineConfig.plain, **HOT)
+        stats = cpu.engine_stats
+        assert stats["traces_formed"] >= 1
+        assert stats["mean_trace_blocks"] >= 2
+        assert stats["trace_dispatches"] > 100
+
+    def test_side_exit_into_cold_block(self):
+        """The loop exit edge is a side exit into a block that never
+        ran before; state after it must match exactly."""
+        cpu = run_all(assemble(LOOP), MachineConfig.plain, **HOT)
+        stats = cpu.engine_stats
+        assert stats["side_exits"] >= 1
+        assert 0 < stats["side_exit_rate"] < 1
+
+    def test_threshold_knob_disables_formation(self):
+        cpu = run_all(assemble(LOOP), MachineConfig.plain,
+                      superblock_threshold=1 << 30)
+        assert cpu.engine_stats["traces_formed"] == 0
+
+    def test_max_blocks_knob_bounds_traces(self):
+        cpu = run_all(assemble(LOOP), MachineConfig.plain,
+                      superblock_threshold=8, superblock_max_blocks=2)
+        stats = cpu.engine_stats
+        assert stats["traces_formed"] >= 1
+        assert stats["mean_trace_blocks"] <= 2
+
+    def test_engine_stats_travel_on_run_result(self):
+        program = assemble(LOOP)
+        config = MachineConfig.plain(timing=False, engine="superblocks",
+                                     **HOT)
+        result = CPU(program, config).run()
+        stats = result.engine_stats
+        assert stats["engine"] == "superblocks"
+        for key in ("traces_formed", "mean_trace_blocks",
+                    "trace_dispatches", "block_dispatches",
+                    "side_exits", "side_exit_rate", "fallback_steps",
+                    "closure_fallback_ops"):
+            assert key in stats
+
+
+class TestTraceTraps:
+    def test_mid_trace_trap_attribution(self):
+        """A trap firing inside a formed trace reports the faulting
+        instruction's pc and count, not the trace boundary's."""
+        from repro.machine import DivideByZeroError
+        program = assemble("""
+        main:
+            mov r1, 0
+            mov r2, 100
+        head:
+            beqz r2, done
+            add r1, r1, 3
+            sub r2, r2, 1
+            sub r3, r2, 50
+            div r4, r1, r3
+            jmp head
+        done:
+            halt r1
+        """)
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine, **HOT))
+            with pytest.raises(DivideByZeroError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        for engine in ENGINES[1:]:
+            assert traps[engine] == traps["legacy"], engine
+        # the loop runs long enough that the div fired from a trace
+        cpu = CPU(program, MachineConfig.plain(
+            timing=False, engine="superblocks", **HOT))
+        with pytest.raises(DivideByZeroError):
+            cpu.run()
+        assert cpu.engine_stats["traces_formed"] >= 1
+
+    def test_mid_trace_bounds_trap(self):
+        """A HardBound violation inside a trace-fused memory template
+        keeps per-instruction attribution."""
+        from repro.machine import BoundsError
+        source = """
+        int main() {
+            int *p = (int*)malloc(32 * sizeof(int));
+            int i;
+            for (i = 0; i < 100; i = i + 1) {
+                p[i] = i;              // overruns at i == 32
+            }
+            return 0;
+        }"""
+        config = MachineConfig.hardbound(timing=False)
+        from repro.minic.driver import compile_program
+        program = compile_program(source, mode_for_config(config))
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.hardbound(
+                timing=False, engine=engine, **HOT))
+            with pytest.raises(BoundsError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        for engine in ENGINES[1:]:
+            assert traps[engine] == traps["legacy"], engine
+
+    def test_limit_busting_demotes_trace(self):
+        """When the whole-trace charge would overrun the instruction
+        limit, the dispatch demotes to the block tier (and then to
+        single-stepping), landing on exactly the legacy pc/icount."""
+        program = assemble(LOOP)
+        for limit in (50, 101, 202, 303, 500, 799, 800, 801):
+            states = {}
+            for engine in ENGINES:
+                cpu = CPU(program, MachineConfig.plain(
+                    timing=False, engine=engine,
+                    max_instructions=limit, **HOT))
+                from repro.machine import InstructionLimitExceeded
+                try:
+                    result = cpu.run()
+                    states[engine] = ("halt", result.exit_code,
+                                      result.instructions, cpu.pc)
+                except InstructionLimitExceeded:
+                    states[engine] = ("limit", cpu.icount, cpu.pc)
+            for engine in ENGINES[1:]:
+                assert states[engine] == states["legacy"], (engine,
+                                                            limit)
+
+    def test_entry_into_trace_middle(self):
+        """A computed call into a pc interior to a formed trace must
+        dispatch the interior block / single-step, not the trace."""
+        program = assemble("""
+        main:
+            mov r1, 0
+            mov r2, 40
+            mov r7, 0
+        head:
+            beqz r2, after
+            add r1, r1, 3
+            sub r2, r2, 1
+            jmp head
+        after:
+            bnez r7, fin
+            mov r7, 1
+            mov r2, 5
+            setcode r5, head
+            add r5, r5, 1
+            callr r5
+        fin:
+            halt r1
+        """)
+        # the callr lands on "add r1, r1, 3" — one past the trace
+        # head formed over the hot loop — skipping the loop-exit
+        # compare once, then re-entering the loop head normally
+        cpu = run_all(program, MachineConfig.plain, **HOT)
+        assert cpu.engine_stats["traces_formed"] >= 1
+
+
+class TestFullCoverageTemplates:
+    def test_subword_and_env_ops_fuse(self):
+        """Sub-word load/store and setbound/sbrk no longer appear in
+        the closure-fallback counts — the acceptance criterion for
+        the full-coverage templates."""
+        program = assemble("""
+        main:
+            mov r1, 4096
+            sbrk r1
+            setbound r3, r1, 64
+            mov r2, 50
+        loop:
+            beqz r2, done
+            storeb [r3 + 1], r2
+            loadb r4, [r3 + 1]
+            storeh [r3 + 4], r4
+            loadh r5, [r3 + 4]
+            sub r2, r2, 1
+            jmp loop
+        done:
+            halt r5
+        """)
+        cpu = run_all(program, MachineConfig.hardbound, timing=True,
+                      **HOT)
+        fallback = cpu.engine_stats["closure_fallback_ops"]
+        for op in ("load", "store", "setbound", "sbrk"):
+            assert op not in fallback, fallback
+
+    @pytest.mark.parametrize("timing", (False, True))
+    def test_subword_traffic_identical(self, timing):
+        """Byte/halfword traffic through the fused generic templates
+        matches every engine, stats included."""
+        source = """
+        int main() {
+            char *s = (char*)malloc(64);
+            int i;
+            int acc = 0;
+            for (i = 0; i < 60; i = i + 1) {
+                s[i] = i * 7;
+            }
+            for (i = 0; i < 60; i = i + 1) {
+                acc = acc + s[i];
+            }
+            return acc;
+        }"""
+        config = MachineConfig.hardbound(timing=timing)
+        program = compile_cached(source, mode_for_config(config))
+        run_all(program, MachineConfig.hardbound, timing=timing, **HOT)
+
+    def test_nonprop_expression_templates_identical(self):
+        program = assemble("""
+        main:
+            mov r1, 0
+            mov r2, 30
+        loop:
+            beqz r2, done
+            mul r3, r2, -3
+            and r4, r3, 255
+            xor r5, r4, r2
+            shl r6, r5, 2
+            sra r7, r3, 1
+            add r1, r1, r7
+            sub r2, r2, 1
+            jmp loop
+        done:
+            halt r1
+        """)
+        run_all(program, MachineConfig.plain, **HOT)
+
+
+class TestInlineCompressibleExpr:
+    def test_expr_matches_methods(self):
+        """The spliced compressibility expressions agree with the
+        stock encodings' is_compressible on a value grid."""
+        from repro.metadata.encodings import (
+            ENCODINGS,
+            inline_compressible_expr,
+        )
+        cases = []
+        for base in (0, 0x1000, 0x7FFF0000, 0xFFFFFF00):
+            for size in (0, 4, 8, 56, 60, 8192, 8196, 10000):
+                bound = (base + size) & 0xFFFFFFFF
+                for value in (base, base + 4, 0):
+                    cases.append((value, base, bound))
+        for name, cls in ENCODINGS.items():
+            enc = cls()
+            expr = inline_compressible_expr(enc, "v", "b", "bd")
+            assert expr is not None, name
+            fn = eval("lambda v, b, bd: bool(%s)" % expr)
+            for v, b, bd in cases:
+                assert fn(v, b, bd) == bool(enc.is_compressible(v, b, bd)), \
+                    (name, v, b, bd)
+
+    def test_subclassed_encoding_returns_none(self):
+        from repro.metadata.encodings import (
+            Internal11Encoding,
+            inline_compressible_expr,
+        )
+
+        class Odd(Internal11Encoding):
+            def is_compressible(self, value, base, bound):
+                return False
+
+        assert inline_compressible_expr(Odd(), "v", "b", "bd") is None
+
+
+class TestFullRegistryEquivalence:
+    """Acceptance: four-way bit-identity on the full Olden registry.
+
+    ``superblocks`` vs ``blocks`` here on every workload (timed, so
+    cache/TLB counters are in play); ``blocks``/``decoded`` vs
+    ``legacy`` on the sampled workloads plus every trap scenario in
+    ``test_engine_differential`` close the chain to the reference
+    interpreter.
+    """
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_superblocks_matches_blocks_timed(self, name):
+        snaps = {}
+        for engine in ("blocks", "superblocks"):
+            config = MachineConfig.hardbound(engine=engine,
+                                             retain_cpu=True)
+            r = run_workload(name, config)
+            snaps[engine] = (
+                r.exit_code, r.output, r.instructions, r.uops,
+                r.stall_cycles, r.cycles, r.setbound_uops,
+                r.hb_stats.as_dict(), r.mem_stats.as_dict(),
+                r.cpu.memory.nonzero_pages())
+        assert snaps["superblocks"] == snaps["blocks"]
+
+    def test_plain_core_matches_blocks_timed(self):
+        for name in ("em3d", "health"):
+            snaps = {}
+            for engine in ("blocks", "superblocks"):
+                r = run_workload(name, MachineConfig.plain(
+                    engine=engine))
+                snaps[engine] = (r.exit_code, r.output,
+                                 r.instructions, r.cycles,
+                                 r.mem_stats.as_dict())
+            assert snaps["superblocks"] == snaps["blocks"]
