@@ -47,7 +47,7 @@ from repro.machine.config import (
 from repro.workloads.registry import WORKLOADS
 
 #: bump when cell payloads or simulator semantics change incompatibly
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 #: cell kinds beyond the per-encoding HardBound runs
 KIND_BASE = "base"
@@ -127,10 +127,24 @@ def _cell_config(kind: str, timing: bool, engine: str) -> MachineConfig:
                                    engine=engine)
 
 
+def _knob_descriptor(config: MachineConfig,
+                     optimize: bool = True) -> dict:
+    """Compile/trace knobs that change a cell's results: the
+    ``optimize=`` compiler pass and the superblock trace-formation
+    knobs.  Part of every cache key so a cached cell can never be
+    served across knob (or knob-*default*) changes."""
+    return {
+        "optimize": optimize,
+        "superblock_threshold": config.superblock_threshold,
+        "superblock_max_blocks": config.superblock_max_blocks,
+        "superblock_call_depth": config.superblock_call_depth,
+    }
+
+
 def cell_descriptor(workload: str, kind: str, timing: bool,
                     engine: str) -> dict:
     """JSON-serializable identity of one matrix cell (the cache key)."""
-    return {
+    descr = {
         "schema": CACHE_SCHEMA,
         "source": source_digest(WORKLOADS[workload].source),
         "workload": workload,
@@ -140,6 +154,8 @@ def cell_descriptor(workload: str, kind: str, timing: bool,
         "timing": False if kind == KIND_OBJTABLE else timing,
         "engine": engine,
     }
+    descr.update(_knob_descriptor(_cell_config(kind, timing, engine)))
+    return descr
 
 
 def run_cell(job: Tuple[str, str, bool, str]):
@@ -283,7 +299,7 @@ def _objtable_elision_cell(job: Tuple[str, Optional[float], str]):
 
 def _objtable_descriptor(name: str, fraction: Optional[float],
                          engine: str) -> dict:
-    return {
+    descr = {
         "schema": CACHE_SCHEMA,
         "sweep": "objtable-elision",
         "source": source_digest(WORKLOADS[name].source),
@@ -291,6 +307,8 @@ def _objtable_descriptor(name: str, fraction: Optional[float],
         "fraction": fraction,
         "engine": engine,
     }
+    descr.update(_knob_descriptor(MachineConfig(engine=engine)))
+    return descr
 
 
 def sweep_objtable_elision_parallel(
@@ -335,7 +353,7 @@ def _tag_cache_cell(job: Tuple[str, int, str, str]):
 
 def _tag_cache_descriptor(name: str, size: int, encoding: str,
                           engine: str) -> dict:
-    return {
+    descr = {
         "schema": CACHE_SCHEMA,
         "sweep": "tag-cache",
         "source": source_digest(WORKLOADS[name].source),
@@ -344,6 +362,8 @@ def _tag_cache_descriptor(name: str, size: int, encoding: str,
         "encoding": encoding,
         "engine": engine,
     }
+    descr.update(_knob_descriptor(MachineConfig(engine=engine)))
+    return descr
 
 
 def sweep_tag_cache_parallel(

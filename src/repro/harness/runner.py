@@ -27,26 +27,31 @@ def source_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
-def compile_cached(source: str, mode: InstrumentMode) -> Program:
+def compile_cached(source: str, mode: InstrumentMode,
+                   optimize: bool = True) -> Program:
     """Compile with memoization (programs are reusable across runs).
 
-    Keyed on a sha256 content digest plus the instrumentation mode:
-    ``hash(source)`` would be unstable across interpreter runs under
-    hash randomization and collision-prone within one.
+    Keyed on a sha256 content digest plus the instrumentation mode
+    and the optimizer knob: ``hash(source)`` would be unstable across
+    interpreter runs under hash randomization and collision-prone
+    within one, and an optimized program must never be served for an
+    ``optimize=False`` request (or vice versa).
     """
-    key = (source_digest(source), mode)
+    key = (source_digest(source), mode, optimize)
     if key not in _program_cache:
-        _program_cache[key] = compile_program(source, mode)
+        _program_cache[key] = compile_program(source, mode,
+                                              optimize=optimize)
     return _program_cache[key]
 
 
 def run_workload(workload, config: MachineConfig,
                  cache_params: Optional[CacheParams] = None,
-                 observer=None) -> RunResult:
+                 observer=None, optimize: bool = True) -> RunResult:
     """Run one workload (by name or object) under a configuration."""
     if isinstance(workload, str):
         workload = WORKLOADS[workload]
-    program = compile_cached(workload.source, mode_for_config(config))
+    program = compile_cached(workload.source, mode_for_config(config),
+                             optimize)
     cpu = CPU(program, config, cache_params)
     if observer is not None:
         cpu.observer = observer

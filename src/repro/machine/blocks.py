@@ -52,14 +52,21 @@ runs:
    profiles block-entry counts in its run loop and, when a block
    crosses the hotness threshold
    (``MachineConfig.superblock_threshold``), chains it with its
-   dominant successors — fallthrough edges, unconditional jumps and
-   strongly entry-count-biased conditional edges, stopping at
-   ``call``/``callr``/``ret`` and at back-edges — into one generated
-   *trace closure* holding the fused templates of every constituent
-   block.  Off-trace branch directions compile to early returns
-   carrying an encoded side-exit index; the dispatch loop maps the
-   index to the exit pc and refunds the unexecuted tail of the
-   up-front instruction-count charge.  A hot loop body spanning
+   dominant successors — fallthrough edges, unconditional jumps,
+   the majority side of profiled conditional edges, and direct
+   ``call``/``ret`` edges up to ``superblock_call_depth`` inlined
+   frames (whole-function traces; indirect calls, returns without an
+   inlined matching call and back-edges — including direct
+   recursion — still stop the chain) — into one generated *trace
+   closure* holding the fused templates of every constituent block.
+   An inlined call keeps its full link-register write; the matching
+   inlined return performs the stock code-pointer checks and then
+   guards the *predicted* return address, side-exiting through the
+   fuser's ``_xpc`` cell when the live link register disagrees.
+   Off-trace branch directions compile to early returns carrying an
+   encoded side-exit index; the dispatch loop maps the index to the
+   exit pc and refunds the unexecuted tail of the up-front
+   instruction-count charge.  A hot loop body spanning
    several blocks thus pays the table-lookup/limit-check/call tax
    once per iteration instead of once per block.  The tier also
    turns on the *full-coverage* instruction templates: sub-word and
@@ -112,6 +119,7 @@ from repro.layout import (
 )
 from repro.machine.errors import (
     BoundsError,
+    DivideByZeroError,
     HaltSignal,
     InstructionLimitExceeded,
     InvalidCodePointerError,
@@ -133,11 +141,24 @@ _TARGETED = frozenset({Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL})
 #: block, entered by fallthrough
 MAX_BLOCK_LEN = 64
 
-#: a conditional edge is "strongly biased" — and a trace may extend
-#: through it — when the chosen successor's entry count is at least
-#: this multiple of the other side's (+1 so a stone-cold other side
-#: still demands real evidence on the chosen side)
-TRACE_BIAS = 4
+#: bias multiple for growing a trace through a conditional branch:
+#: the chain continues along the hotter side only when its entry
+#: count is at least this multiple of the colder side's (a cold side
+#: counts as 1).  ``1`` is simple-majority growth — the minority
+#: direction becomes a side exit; both sides cold stops the chain.
+#: The Olden knob sweep picked majority growth + a minimum formation
+#: length over stronger bias requirements: long traces amortize the
+#: trace entry cost even at higher side-exit rates.
+TRACE_BIAS = 1
+
+#: minimum chain length (in basic blocks) worth fusing into a trace:
+#: shorter chains stay on the block tier, where per-dispatch cost is
+#: lower than a trace's entry/refund overhead.  Formation runs once
+#: per head (at the threshold crossing), so a declined head is a
+#: permanent block-tier resident.  Also the lever that keeps the
+#: formed-trace population long: declining 2-block chains lifts the
+#: Olden aggregate ``mean_trace_blocks`` from ~5 to ~6.7.
+TRACE_MIN_BLOCKS = 3
 
 
 class BasicBlock:
@@ -939,6 +960,54 @@ def _template_part(instr, i: int, pc: int,
                          ["value[rd{i}] = (" + expr + ") & %s" % _M32,
                           "rbase[rd{i}] = 0",
                           "rbound[rd{i}] = 0"])
+        if ctx.fuse_generic and op in (Op.DIV, Op.MOD):
+            # inline C truncating division/remainder: a source-level
+            # copy of decode._div/_mod (closure-call free).  Register
+            # values are always in [0, 2**32), so the sign test is
+            # the plain to_signed branch.
+            is_div = op is Op.DIV
+            compute = ("q = abs(sa) // abs(sb)" if is_div
+                       else "q = abs(sa) % abs(sb)")
+            result = ("(q if (sa < 0) == (sb < 0) else -q)" if is_div
+                      else "(q if sa >= 0 else -q)")
+            head = ["sa = value[rs{i}]",
+                    "if sa >= 2147483648:",
+                    "    sa -= 4294967296"]
+            tail = [compute,
+                    "value[rd{i}] = %s & %s" % (result, _M32),
+                    "rbase[rd{i}] = 0",
+                    "rbound[rd{i}] = 0"]
+            if rt is not None:
+                return _Part(
+                    ("divrr" if is_div else "modrr"),
+                    [("rd%d" % i, rd), ("rs%d" % i, rs),
+                     ("rt%d" % i, rt)],
+                    head + ["sb = value[rt{i}]",
+                            "if sb >= 2147483648:",
+                            "    sb -= 4294967296",
+                            "if sb == 0:",
+                            "    raise _dbz()"] + tail)
+            sk = to_signed(instr.imm or 0)
+            if sk != 0:
+                # the immediate's sign and magnitude are bind-time
+                # constants; a zero immediate keeps the closure
+                # fallback (raises the identical trap every time)
+                if is_div:
+                    ri_lines = [
+                        "q = abs(sa) // ka{i}",
+                        "value[rd{i}] = (q if (sa < 0) == kn{i}"
+                        " else -q) & %s" % _M32]
+                else:
+                    ri_lines = [
+                        "q = abs(sa) % ka{i}",
+                        "value[rd{i}] = (q if sa >= 0 else -q)"
+                        " & %s" % _M32]
+                return _Part(
+                    ("divri" if is_div else "modri"),
+                    [("rd%d" % i, rd), ("rs%d" % i, rs),
+                     ("ka%d" % i, abs(sk)), ("kn%d" % i, sk < 0)],
+                    head + ri_lines
+                    + ["rbase[rd{i}] = 0", "rbound[rd{i}] = 0"])
         from repro.machine.decode import _NONPROP_FNS
         fn = _NONPROP_FNS[op]
         if rt is not None:
@@ -1093,26 +1162,28 @@ _MI_PARAMS = (
 #: ``to_signed``, ``sbrk``, the byte-level memory accessors, the
 #: timing/temporal/observer hooks and the metadata-engine methods)
 _ENV_PARAMS = (
-    "value", "rbase", "rbound", "_n", "_icpe",
+    "value", "rbase", "rbound", "_n", "_icpe", "_xpc",
     "_mem", "_heap", "_glob", "_stk", "_gl", "_sb", "_rr", "_rw",
     "_hbs", "_meta", "_mg", "_mp", "_isc", "_sp",
 ) + tuple(name for name, _ in _MI_PARAMS) + (
-    "_be", "_npe", "_mf",
+    "_be", "_npe", "_mf", "_dbz",
     "_cpu", "_tsg", "_sbrk", "_mr", "_mw", "_da", "_tc", "_ob",
     "_tmp", "_hbc", "_hblw", "_hbls", "_hbsw", "_hbss",
 )
 
 
 def _compile_fuser(signature: Tuple[str, ...],
-                   parts: List[_Part], localize: bool = False):
+                   parts: List[_Part]):
     """Compile (or fetch) the fuser for a block shape signature.
 
-    With ``localize`` (the superblock tier — its cache keys carry an
-    ``"SB"`` marker so the two tiers never share a code object),
-    every bound name the body references is re-bound as a
+    Every bound name the body references is re-bound as a
     default-valued parameter of the generated function: CPython then
     reads it as a fast local instead of a closure cell on every
-    access, at the cost of one default copy per call.
+    access, at the cost of one default copy per call.  PR 5 measured
+    the trick on the superblock tier only; it now covers both tiers,
+    whose cache keys carry distinct version markers (``"SB"`` /
+    ``"BL"``) so the tiers never share a code object and stale
+    unlocalized shapes can't alias the localized ones.
     """
     cached = _fuse_cache.get(signature)
     if cached is not None:
@@ -1129,14 +1200,13 @@ def _compile_fuser(signature: Tuple[str, ...],
             lines.append("        " + raw.format(**fmt))
             line_of[len(lines)] = offset
     lines.append("    return _block")
-    if localize:
-        referenced = set(re.findall(r"[A-Za-z_]\w*",
-                                    "\n".join(lines[2:-1])))
-        bound = [name for name in names + list(_ENV_PARAMS)
-                 if name in referenced]
-        lines[1] = ("    def _block(pc%s):"
-                    % "".join(", %s=%s" % (name, name)
-                              for name in bound))
+    referenced = set(re.findall(r"[A-Za-z_]\w*",
+                                "\n".join(lines[2:-1])))
+    bound = [name for name in names + list(_ENV_PARAMS)
+             if name in referenced]
+    lines[1] = ("    def _block(pc%s):"
+                % "".join(", %s=%s" % (name, name)
+                          for name in bound))
     namespace: dict = {}
     exec(compile("\n".join(lines), _FUSE_FILENAME, "exec"), namespace)
     fuse = namespace["_fuse"]
@@ -1161,7 +1231,7 @@ class _Fuser:
     """
 
     __slots__ = ("cpu", "code", "instrs", "ctx", "env_vals",
-                 "fallback_ops", "cfg")
+                 "fallback_ops", "cfg", "xpc")
 
     def __init__(self, cpu, code: list, env, fuse_generic=False,
                  fallback_ops: Optional[Dict[str, int]] = None):
@@ -1178,9 +1248,12 @@ class _Fuser:
         else:
             mi = SimpleNamespace(**{field: None
                                     for _, field in _MI_PARAMS})
+        #: one-slot cell through which an inlined-``ret`` guard hands
+        #: the mispredicted return target back to the dispatch loop
+        self.xpc = [0]
         env_map = {
             "value": env.value, "rbase": env.rbase,
-            "rbound": env.rbound,
+            "rbound": env.rbound, "_xpc": self.xpc,
             "_n": len(self.instrs), "_icpe": InvalidCodePointerError,
             "_mem": env.memory, "_heap": env.heap_cell,
             "_glob": env.glob_cell, "_stk": env.stack_cell,
@@ -1190,7 +1263,7 @@ class _Fuser:
             "_mg": env.meta_get, "_mp": env.meta_pop,
             "_isc": env.is_comp, "_sp": env.sprobe,
             "_be": BoundsError, "_npe": NonPointerError,
-            "_mf": MemoryFault,
+            "_mf": MemoryFault, "_dbz": DivideByZeroError,
             "_cpu": cpu, "_tsg": to_signed, "_sbrk": env.mem_sbrk,
             "_mr": env.mem_read, "_mw": env.mem_write,
             "_da": env.data_access, "_tc": env.temporal_check,
@@ -1235,16 +1308,16 @@ class _Fuser:
         return parts
 
     def signature(self, parts: List[_Part]) -> Tuple[str, ...]:
-        """Fuser cache key; the superblock tier's carries a marker
-        (its code objects localize bound names, see
+        """Fuser cache key; versioned per tier (``"SB"``: superblock
+        full-coverage templates, ``"BL"``: localized block tier) so
+        the tiers never share a code object (see
         :func:`_compile_fuser`)."""
         shapes = tuple(part.shape for part in parts)
-        return ("SB",) + shapes if self.ctx.fuse_generic else shapes
+        return (("SB",) if self.ctx.fuse_generic else ("BL",)) + shapes
 
     def bind(self, parts: List[_Part]):
         """Compile (or fetch) the parts' fuser and bind the operands."""
-        fuse, _block_code = _compile_fuser(self.signature(parts), parts,
-                                           self.ctx.fuse_generic)
+        fuse, _block_code = _compile_fuser(self.signature(parts), parts)
         args = [value for part in parts for _, value in part.params]
         return fuse(*(args + list(self.env_vals)))
 
@@ -1447,25 +1520,33 @@ def execute_blocks(cpu):
 # -- superblock traces --------------------------------------------------------
 
 #: trace-extension stoppers: control leaves the trace through an
-#: indirect or cross-procedure edge (or the program ends)
-_TRACE_STOPS = frozenset({Op.CALL, Op.CALLR, Op.RET, Op.HALT,
-                          Op.ABORT})
+#: indirect edge or the program ends.  Direct ``call``/``ret`` edges
+#: are no longer unconditional stoppers — ``_chain_blocks`` follows
+#: them up to the configured inline depth (whole-function traces).
+_TRACE_STOPS = frozenset({Op.CALLR, Op.HALT, Op.ABORT})
 
 
 def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
                   counts: List[int], instrs, max_blocks: int,
-                  n: int) -> List[BasicBlock]:
+                  n: int, call_depth: int = 0) -> List[BasicBlock]:
     """Grow the superblock chain from a hot head block.
 
-    Follows fallthrough edges, unconditional jumps and conditional
-    edges whose entry-count profile is strongly biased
-    (:data:`TRACE_BIAS`); stops at calls, returns, indirect
-    transfers, program exit, the trace-length cap and any block
-    already in the chain (back-edges close loops at the dispatch
-    level, one trace per iteration).
+    Follows fallthrough edges, unconditional jumps and the
+    majority side of profiled conditional edges (the minority
+    direction becomes a side exit).  Direct ``call`` edges are
+    followed into
+    the callee up to ``call_depth`` frames, pushing the static
+    return pc; a ``ret`` whose matching call was inlined in the same
+    chain continues at that predicted return pc (the trace emission
+    guards the prediction with a side exit).  Stops at indirect
+    transfers, returns without an inlined matching call, calls past
+    the depth cap, program exit, the trace-length cap and any block
+    already in the chain (back-edges — including direct recursion —
+    close loops at the dispatch level, one trace per iteration).
     """
     chain = [blocks_by_start[head]]
     seen = {head}
+    ret_stack: List[int] = []
     while len(chain) < max_blocks:
         block = chain[-1]
         term = instrs[block.end - 1]
@@ -1474,6 +1555,14 @@ def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
             break
         if op is Op.JMP:
             nxt = term.target
+        elif op is Op.CALL:
+            if len(ret_stack) >= call_depth:
+                break
+            nxt = term.target
+        elif op is Op.RET:
+            if not ret_stack:
+                break
+            nxt = ret_stack[-1]
         elif op in (Op.BEQZ, Op.BNEZ):
             target = term.target
             fall = block.end
@@ -1481,12 +1570,15 @@ def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
                 break
             taken = counts[target] if 0 <= target < n else 0
             fallc = counts[fall] if fall < n else 0
-            if taken >= TRACE_BIAS * (fallc + 1):
-                nxt = target
-            elif fallc >= TRACE_BIAS * (taken + 1):
-                nxt = fall
-            else:
+            hot, cold = ((target, fallc) if taken > fallc
+                         else (fall, taken))
+            # continue only along a strongly biased side (the other
+            # direction becomes a side exit): a weakly biased branch
+            # would side-exit so often the trace loses money on its
+            # refund path, so it terminates the chain instead
+            if max(taken, fallc) < TRACE_BIAS * max(cold, 1):
                 break
+            nxt = hot
         else:
             nxt = block.end  # leader-split or capped fallthrough
         if nxt is None or not 0 <= nxt < n or nxt in seen:
@@ -1494,6 +1586,10 @@ def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
         nxt_block = blocks_by_start.get(nxt)
         if nxt_block is None:
             break
+        if op is Op.CALL:
+            ret_stack.append(block.end)
+        elif op is Op.RET:
+            ret_stack.pop()
         chain.append(nxt_block)
         seen.add(nxt)
     return chain
@@ -1501,11 +1597,12 @@ def _chain_blocks(head: int, blocks_by_start: Dict[int, BasicBlock],
 
 def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
                 counts: List[int], fuser: _Fuser, max_blocks: int,
-                base_entry: tuple, plan: Optional[_Plan] = None):
+                call_depth: int, base_entry: tuple,
+                plan: Optional[_Plan] = None):
     """Fuse the hot chain from ``head`` into one trace closure.
 
-    Returns ``(entry, n_blocks)`` where ``entry`` is a 5-slot
-    dispatch tuple ``(fn, tlen, fall, last, (pcs, exits,
+    Returns ``(entry, n_blocks, has_call)`` where ``entry`` is a
+    5-slot dispatch tuple ``(fn, tlen, fall, last, (pcs, exits,
     base_entry))`` — or ``None`` when no chain longer than one block
     exists.  ``pcs`` maps trace instruction offsets back to
     program pcs (trap attribution); each exit is ``(exit_pc,
@@ -1515,17 +1612,32 @@ def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
     biased direction stays on-trace compile to ``if <off-trace
     cond>: return -(k+1)``; on-trace unconditional jumps compile to
     nothing (their instruction slot is still charged and mapped).
+
+    A ``call`` followed into its callee keeps the full link-register
+    write (value and metadata) but falls through into the callee's
+    templates instead of returning; the matching inlined ``ret``
+    performs the same code-pointer checks as the stock template, then
+    *guards* the return-address prediction: when the link register
+    disagrees with the recorded return pc the actual target is
+    parked in the fuser's ``_xpc`` cell and the trace side-exits
+    (``exit_pc is None`` marks these dynamic exits in the exit
+    table), refunding the unexecuted tail like any other side exit.
     """
     instrs = fuser.instrs
     n = len(instrs)
     chain = _chain_blocks(head, blocks_by_start, counts, instrs,
-                          max_blocks, n)
-    if len(chain) < 2:
+                          max_blocks, n, call_depth)
+    # an explicit low max_blocks knob caps the minimum too, so tiny
+    # length caps still form (knob tests pin max_blocks=2)
+    if len(chain) < max(2, min(TRACE_MIN_BLOCKS, max_blocks)):
         return None
     parts: List[_Part] = []
     pcs: List[int] = []
     raw_exits: List[tuple] = []
+    ret_stack: List[int] = []
+    has_call = False
     last_index = len(chain) - 1
+    full_mode = fuser.ctx.full_mode
     for bi, block in enumerate(chain):
         if bi == last_index:
             # the trace tail keeps its full block semantics: the
@@ -1538,7 +1650,8 @@ def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
         term = instrs[block.end - 1]
         op = term.op
         body = (block.length - 1
-                if op in (Op.JMP, Op.BEQZ, Op.BNEZ) else block.length)
+                if op in (Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL, Op.RET)
+                else block.length)
         parts += fuser.make_parts(block.start, body, len(pcs), False,
                                   count_fallbacks=False)
         pcs.extend(range(block.start, block.start + body))
@@ -1550,6 +1663,38 @@ def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
             # emits no code (it cannot trap, and control simply runs
             # on into the next chained block's templates)
             parts.append(_Part("jel", [], []))
+        elif op is Op.CALL:
+            # inlined call: the link-register write is the full
+            # template, but control falls through into the callee's
+            # templates (the chain continues at term.target)
+            has_call = True
+            ret_stack.append(block.end)
+            parts.append(_Part(
+                "icall", [("r%d" % i, block.end & MASK32)],
+                ["value[%s] = r{i}" % _RA,
+                 "rbase[%s] = %s" % (_RA, _MAX),
+                 "rbound[%s] = %s" % (_RA, _MAX)]))
+        elif op is Op.RET:
+            # inlined return: stock code-pointer checks, then the
+            # return-address prediction guard with a dynamic side
+            # exit (exit_pc None; the target travels through _xpc)
+            predicted = ret_stack.pop()
+            encoded = -(len(raw_exits) + 1)
+            raw_exits.append((None, block.end - 1, i))
+            lines = ["t = value[%s]" % _RA]
+            if full_mode:
+                lines += ["if rbase[%s] != %s or rbound[%s] != %s:"
+                          % (_RA, _MAX, _RA, _MAX),
+                          "    raise _icpe(t)"]
+            lines += ["if t >= _n:",
+                      "    raise _icpe(t)",
+                      "if t != p{i}:",
+                      "    _xpc[0] = t",
+                      "    return x{i}"]
+            parts.append(_Part(
+                "iret%d" % full_mode,
+                [("p%d" % i, predicted), ("x%d" % i, encoded)],
+                lines))
         else:
             taken_biased = chain[bi + 1].start == term.target
             exit_pc = block.end if taken_biased else term.target
@@ -1574,13 +1719,14 @@ def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
         plan.traces[head] = (fuser.signature(parts),
                              _part_spec(parts), tlen, tail.end,
                              tail.end - 1, tuple(pcs), exits,
-                             len(chain))
+                             len(chain), has_call)
     return ((fn, tlen, tail.end, tail.end - 1,
-             (tuple(pcs), exits, base_entry)), len(chain))
+             (tuple(pcs), exits, base_entry)), len(chain), has_call)
 
 
 def _introspection(trace_sizes, trace_dispatches, side_exits,
-                   single_steps, fallback_ops, counts) -> dict:
+                   single_steps, fallback_ops, counts,
+                   cross_call_traces, ret_mispredicts) -> dict:
     """The ``cpu.engine_stats`` record of a superblocks run."""
     formed = len(trace_sizes)
     return {
@@ -1599,6 +1745,13 @@ def _introspection(trace_sizes, trace_dispatches, side_exits,
                            if trace_dispatches else 0.0),
         "fallback_steps": single_steps,
         "closure_fallback_ops": dict(fallback_ops),
+        # whole-function traces: how many formed traces inlined at
+        # least one call, and how often an inlined ret's predicted
+        # return address disagreed with the live link register
+        "cross_call_traces": cross_call_traces,
+        "ret_mispredicts": ret_mispredicts,
+        "ret_mispredict_rate": (ret_mispredicts / trace_dispatches
+                                if trace_dispatches else 0.0),
     }
 
 
@@ -1626,12 +1779,13 @@ def execute_superblocks(cpu):
     config = cpu.config
     threshold = config.superblock_threshold
     max_blocks = config.superblock_max_blocks
+    call_depth = getattr(config, "superblock_call_depth", 0)
     fuser = _Fuser(cpu, code, env, fuse_generic=True)
     program = cpu.program
     plans = _plan_cache.get(program)
     if plans is None:
         plans = _plan_cache[program] = {}
-    plan_key = fuser.ctx.key() + (threshold, max_blocks)
+    plan_key = fuser.ctx.key() + (threshold, max_blocks, call_depth)
     plan = plans.get(plan_key)
     if plan is None:
         plan = plans[plan_key] = _Plan()
@@ -1644,6 +1798,9 @@ def execute_superblocks(cpu):
             table[entry_pc] = base + (None,)
     counts = [0] * n
     trace_sizes: List[int] = []
+    cross_call_traces = 0
+    ret_mispredicts = 0
+    xpc = fuser.xpc
     # recorded traces from earlier runs of this program install at
     # build time: warm runs start fully trace-covered
     for head, rec in plan.traces.items():
@@ -1651,12 +1808,14 @@ def execute_superblocks(cpu):
         if base is None:
             continue
         (signature, spec, tlen, fall, last, pcs, exits,
-         n_blocks) = rec
+         n_blocks, has_call) = rec
         fn = fuser.bind_spec(signature, spec)
         if fn is None:
             continue
         table[head] = (fn, tlen, fall, last, (pcs, exits, base))
         trace_sizes.append(n_blocks)
+        if has_call:
+            cross_call_traces += 1
     #: CFG nodes for chain growth, built on the first formation
     blocks_by_start: Optional[Dict[int, BasicBlock]] = None
     limit = config.max_instructions
@@ -1691,7 +1850,13 @@ def execute_superblocks(cpu):
                             icount -= rem
                             lpc = bpc
                             side_exits += 1
-                            pc = exit_pc
+                            if exit_pc is None:
+                                # inlined-ret prediction guard: the
+                                # actual target travels via _xpc
+                                ret_mispredicts += 1
+                                pc = xpc[0]
+                            else:
+                                pc = exit_pc
                         continue
                     # the whole-trace charge would overrun the
                     # instruction limit: demote to the underlying
@@ -1709,10 +1874,13 @@ def execute_superblocks(cpu):
                                                for block in cfg}
                         formed = _form_trace(pc, blocks_by_start,
                                              counts, fuser,
-                                             max_blocks, entry, plan)
+                                             max_blocks, call_depth,
+                                             entry, plan)
                         if formed is not None:
                             table[pc] = formed[0]
                             trace_sizes.append(formed[1])
+                            if formed[2]:
+                                cross_call_traces += 1
                 nic = icount + blen
                 if nic <= limit:
                     icount = nic
@@ -1740,7 +1908,7 @@ def execute_superblocks(cpu):
             cpu.icount, cpu.pc = state
         cpu.engine_stats = _introspection(
             trace_sizes, trace_dispatches, side_exits, single_steps,
-            fallback_ops, counts)
+            fallback_ops, counts, cross_call_traces, ret_mispredicts)
         stats_done = True
         return RunResult(cpu, halt.code)
     except IndexError as exc:
@@ -1780,4 +1948,5 @@ def execute_superblocks(cpu):
         if not stats_done:
             cpu.engine_stats = _introspection(
                 trace_sizes, trace_dispatches, side_exits,
-                single_steps, fallback_ops, counts)
+                single_steps, fallback_ops, counts,
+                cross_call_traces, ret_mispredicts)

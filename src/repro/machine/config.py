@@ -81,6 +81,13 @@ class MachineConfig:
     ``superblock_max_blocks``
         Maximum number of basic blocks chained into one trace
         (max-trace-length knob).
+    ``superblock_call_depth``
+        Maximum call-nesting depth a trace may inline by following
+        ``call`` edges into the callee and predicted ``ret`` edges
+        back (whole-function traces).  ``0`` restores the PR 5
+        behaviour of stopping every trace at call/ret boundaries;
+        indirect calls and recursive back-edges always terminate
+        traces regardless of this knob.
     ``retain_cpu``
         Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
         on the returned :class:`~repro.machine.cpu.RunResult` so its
@@ -97,7 +104,8 @@ class MachineConfig:
     timing: bool = True
     engine: str = ENGINE_SUPERBLOCKS
     superblock_threshold: int = 64
-    superblock_max_blocks: int = 8
+    superblock_max_blocks: int = 32
+    superblock_call_depth: int = 8
     retain_cpu: bool = False
     stack_size: int = STACK_SIZE
     max_instructions: int = 200_000_000

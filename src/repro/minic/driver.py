@@ -9,6 +9,7 @@ from repro.isa.program import Program
 from repro.machine.config import MachineConfig, SafetyMode
 from repro.machine.cpu import CPU, RunResult
 from repro.minic.codegen import InstrumentMode, generate
+from repro.minic.optimizer import optimize_asm
 from repro.minic.parser import parse
 from repro.minic.sema import analyze
 from repro.minic.stdlib import STDLIB_SOURCE
@@ -17,20 +18,33 @@ from repro.minic.stdlib import STDLIB_SOURCE
 def compile_to_asm(source: str,
                    mode: InstrumentMode = InstrumentMode.HARDBOUND,
                    include_stdlib: bool = True,
-                   optimize_static: bool = False) -> str:
-    """Compile MiniC source to assembler text."""
+                   optimize_static: bool = False,
+                   optimize: bool = True) -> str:
+    """Compile MiniC source to assembler text.
+
+    ``optimize`` (default on) runs the textual peephole pass of
+    :mod:`repro.minic.optimizer` over the generated assembler; it
+    preserves observable results (output, traps, final memory) while
+    shrinking the instruction stream.  ``optimize_static`` is the
+    older AST-level constant folder; the two compose.
+    """
     if include_stdlib:
         source = STDLIB_SOURCE + "\n" + source
     unit = analyze(parse(source))
-    return generate(unit, mode, optimize_static)
+    asm = generate(unit, mode, optimize_static)
+    if optimize:
+        asm = optimize_asm(asm)
+    return asm
 
 
 def compile_program(source: str,
                     mode: InstrumentMode = InstrumentMode.HARDBOUND,
                     include_stdlib: bool = True,
-                    optimize_static: bool = False) -> Program:
+                    optimize_static: bool = False,
+                    optimize: bool = True) -> Program:
     """Compile MiniC source to a linked :class:`Program`."""
-    asm = compile_to_asm(source, mode, include_stdlib, optimize_static)
+    asm = compile_to_asm(source, mode, include_stdlib, optimize_static,
+                         optimize)
     return assemble(asm)
 
 
@@ -52,7 +66,8 @@ def mode_for_config(config: MachineConfig) -> InstrumentMode:
 def compile_and_run(source: str,
                     config: Optional[MachineConfig] = None,
                     mode: Optional[InstrumentMode] = None,
-                    include_stdlib: bool = True) -> RunResult:
+                    include_stdlib: bool = True,
+                    optimize: bool = True) -> RunResult:
     """Compile and execute; returns the :class:`RunResult`.
 
     The instrumentation mode defaults to whatever matches the machine
@@ -62,5 +77,6 @@ def compile_and_run(source: str,
     config = config or MachineConfig.hardbound(timing=False)
     if mode is None:
         mode = mode_for_config(config)
-    program = compile_program(source, mode, include_stdlib)
+    program = compile_program(source, mode, include_stdlib,
+                              optimize=optimize)
     return CPU(program, config).run()

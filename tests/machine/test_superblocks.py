@@ -47,6 +47,8 @@ main:
 head:
     beqz r2, done
     add r1, r1, 3
+    jmp step
+step:
     sub r2, r2, 1
     jmp head
 done:
@@ -92,7 +94,8 @@ class TestTraceFormation:
         for key in ("traces_formed", "mean_trace_blocks",
                     "trace_dispatches", "block_dispatches",
                     "side_exits", "side_exit_rate", "fallback_steps",
-                    "closure_fallback_ops"):
+                    "closure_fallback_ops", "cross_call_traces",
+                    "ret_mispredicts", "ret_mispredict_rate"):
             assert key in stats
 
 
@@ -109,6 +112,8 @@ class TestTraceTraps:
             beqz r2, done
             add r1, r1, 3
             sub r2, r2, 1
+            jmp step
+        step:
             sub r3, r2, 50
             div r4, r1, r3
             jmp head
@@ -192,6 +197,8 @@ class TestTraceTraps:
         head:
             beqz r2, after
             add r1, r1, 3
+            jmp step
+        step:
             sub r2, r2, 1
             jmp head
         after:
@@ -209,6 +216,132 @@ class TestTraceTraps:
         # compare once, then re-entering the loop head normally
         cpu = run_all(program, MachineConfig.plain, **HOT)
         assert cpu.engine_stats["traces_formed"] >= 1
+
+
+#: hot loop whose body calls a leaf; the call/ret pair inlines into
+#: the loop trace, and the callee perturbs the link register via
+#: ``r6`` (zero except on one iteration) so the ret-prediction guard
+#: eventually fires from inside the formed trace
+CROSS_CALL = """
+main:
+    mov r1, 0
+    mov r2, 150
+    mov r6, 0
+head:
+    beqz r2, done
+    call fn
+back:
+    mov r7, 0
+    sub r2, r2, 1
+    seq r6, r2, 20
+    jmp head
+fn:
+    add r1, r1, 2
+    add ra, ra, r6
+    ret
+done:
+    halt r1
+"""
+
+
+class TestCrossCallTraces:
+    def test_call_ret_pair_inlines_into_trace(self):
+        cpu = run_all(assemble(CROSS_CALL), MachineConfig.plain, **HOT)
+        stats = cpu.engine_stats
+        assert stats["traces_formed"] >= 1
+        assert stats["cross_call_traces"] >= 1
+        # the loop body spans at least head/call/callee/back blocks
+        assert stats["mean_trace_blocks"] >= 4
+
+    def test_ret_mispredict_takes_side_exit(self):
+        """On the one iteration where the callee rewrites ``ra`` the
+        guard must side-exit with the actual target — and the skipped
+        instruction / diverted control flow must match every other
+        engine exactly."""
+        cpu = run_all(assemble(CROSS_CALL), MachineConfig.plain, **HOT)
+        stats = cpu.engine_stats
+        assert stats["ret_mispredicts"] >= 1
+        assert stats["side_exits"] >= stats["ret_mispredicts"]
+        assert 0 < stats["ret_mispredict_rate"] < 1
+
+    def test_depth_knob_zero_restores_call_boundaries(self):
+        cpu = run_all(assemble(CROSS_CALL), MachineConfig.plain,
+                      superblock_threshold=8, superblock_call_depth=0)
+        stats = cpu.engine_stats
+        assert stats["cross_call_traces"] == 0
+        assert stats["ret_mispredicts"] == 0
+
+    def test_recursive_call_chain(self):
+        """Direct recursion: the back-edge into the callee terminates
+        the chain (one inlined frame at most), and push/pop-framed
+        recursive returns stay bit-identical."""
+        program = assemble("""
+        main:
+            mov r1, 0
+            mov r5, 30
+        outer:
+            beqz r5, done
+            mov r2, 6
+            call fn
+        ostep:
+            sub r5, r5, 1
+            jmp outer
+        fn:
+            beqz r2, fbase
+            add r1, r1, 1
+            sub r2, r2, 1
+            push ra
+            call fn
+        fmid:
+            pop ra
+            ret
+        fbase:
+            ret
+        done:
+            halt r1
+        """)
+        cpu = run_all(program, MachineConfig.plain, **HOT)
+        stats = cpu.engine_stats
+        assert stats["traces_formed"] >= 1
+        assert stats["cross_call_traces"] >= 1
+
+    def test_mid_callee_trap_attribution(self):
+        """A div-by-zero deep inside an inlined callee keeps exact
+        pc/icount attribution under every engine."""
+        from repro.machine import DivideByZeroError
+        program = assemble("""
+        main:
+            mov r1, 0
+            mov r2, 100
+        head:
+            beqz r2, done
+            call fn
+        back:
+            sub r2, r2, 1
+            jmp head
+        fn:
+            sub r3, r2, 50
+            div r4, r1, r3
+            add r1, r1, 3
+            ret
+        done:
+            halt r1
+        """)
+        traps = {}
+        for engine in ENGINES:
+            cpu = CPU(program, MachineConfig.plain(
+                timing=False, engine=engine, **HOT))
+            with pytest.raises(DivideByZeroError) as exc:
+                cpu.run()
+            traps[engine] = (str(exc.value), exc.value.pc,
+                             cpu.icount, cpu.pc)
+        for engine in ENGINES[1:]:
+            assert traps[engine] == traps["legacy"], engine
+        cpu = CPU(program, MachineConfig.plain(
+            timing=False, engine="superblocks", **HOT))
+        with pytest.raises(DivideByZeroError):
+            cpu.run()
+        assert cpu.engine_stats["cross_call_traces"] >= 1
 
 
 class TestFullCoverageTemplates:
