@@ -18,6 +18,10 @@ run; this script is the step right after it and fails the build when
   ``FLOOR_MEAN_TRACE_BLOCKS`` (the PR 6 whole-function-trace
   acceptance lines; see the floor constants for why the speedup
   floor sits below the issue's aspirational 3.0x), or
+* the record's ``obs_overhead.ratio`` (timed superblocks sweep,
+  events-off seconds over events-on seconds) falls below
+  ``FLOOR_OBS_OVERHEAD_RATIO`` — event tracing must stay under ~2%
+  overhead (the PR 7 observability acceptance line), or
 * the engine differential / fast-model counter-identity suite did
   not actually run and pass: the gate demands the junit record the
   suite step emits (``--junitxml``), and checks every required test
@@ -85,6 +89,15 @@ FLOOR_TIMED_SUPERBLOCKS_VS_DECODED = 2.2
 #: basic blocks) of the whole-function trace tier — deterministic,
 #: so no noise margin is needed below the measured ~6.7.
 FLOOR_MEAN_TRACE_BLOCKS = 6.0
+
+#: committed floor for the instrumentation-overhead ratio of the
+#: observability layer (PR 7): timed superblocks sweep seconds with
+#: events off divided by the same sweep with ``obs_events`` on.
+#: Host-independent (both sweeps run in the same process,
+#: interleaved).  0.98 means event tracing may cost at most ~2%;
+#: the always-on counters are covered by the engine-ladder floors
+#: above, which run events-off.
+FLOOR_OBS_OVERHEAD_RATIO = 0.98
 
 #: test modules whose presence in the junit record proves the
 #: four-way engine differential, fast-model counter-identity and
@@ -160,6 +173,20 @@ def check_record(path: str, floor: float, errors: list) -> None:
                 "committed floor %.2f — whole-function traces "
                 "stopped spanning calls" % (mean,
                                             FLOOR_MEAN_TRACE_BLOCKS))
+    ratio = (record.get("obs_overhead") or {}).get("ratio")
+    if ratio is None:
+        errors.append("%s has no obs_overhead.ratio — the "
+                      "instrumentation-overhead sweep did not run"
+                      % path)
+    else:
+        print("bench-gate: obs events-off/on ratio = %.3f "
+              "(floor %.2f)" % (ratio, FLOOR_OBS_OVERHEAD_RATIO))
+        if ratio < FLOOR_OBS_OVERHEAD_RATIO:
+            errors.append(
+                "obs overhead ratio %.3f is below the committed "
+                "floor %.2f — event tracing costs more than ~2%% "
+                "on the timed superblocks sweep"
+                % (ratio, FLOOR_OBS_OVERHEAD_RATIO))
     for extra in ("blocks_vs_pr2_blocks", "blocks_vs_pr3_blocks",
                   "superblocks_vs_pr4_blocks",
                   "superblocks_vs_pr5_superblocks"):

@@ -44,10 +44,19 @@ from repro.machine.config import (
     MachineConfig,
     SafetyMode,
 )
+from repro.obs.events import EventLog
+from repro.obs.metrics import REGISTRY
 from repro.workloads.registry import WORKLOADS
 
 #: bump when cell payloads or simulator semantics change incompatibly
-CACHE_SCHEMA = 2
+#: (3: cell results carry their run manifest)
+CACHE_SCHEMA = 3
+
+#: environment knob: workers append their obs JSONL event streams to
+#: this path (set by the CLI ``--obs`` flag; inherited by pool
+#: processes).  Never part of any cache key — events don't change
+#: results.
+OBS_ENV = "REPRO_OBS"
 
 #: cell kinds beyond the per-encoding HardBound runs
 KIND_BASE = "base"
@@ -63,14 +72,18 @@ class ObjTableSummary:
     """
 
     __slots__ = ("extra_uops", "arith_events", "alloc_events",
-                 "mem_events", "elide_fraction")
+                 "mem_events", "elide_fraction", "manifest")
 
-    def __init__(self, model: ObjectTableModel):
+    def __init__(self, model: ObjectTableModel, manifest=None):
         self.extra_uops = model.extra_uops
         self.arith_events = model.arith_events
         self.alloc_events = model.alloc_events
         self.mem_events = model.mem_events
         self.elide_fraction = model.elide_fraction
+        #: run manifest of the observed run (same shape as
+        #: ``RunResult.manifest``), so every cached cell records the
+        #: exact knobs/host that produced it
+        self.manifest = manifest
 
     def overhead_vs(self, base_uops: int) -> float:
         if not base_uops:
@@ -85,7 +98,13 @@ class ResultCache:
         self.path = path
         self.hits = 0
         self.misses = 0
+        self.writes = 0
         os.makedirs(path, exist_ok=True)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative cache traffic of this instance."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
 
     @staticmethod
     def key_of(descr: dict) -> str:
@@ -111,6 +130,44 @@ class ResultCache:
         with open(tmp, "wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, self._file(key))
+        self.writes += 1
+
+
+def _sweep_cache_summary(cache: Optional[ResultCache],
+                         before: Dict[str, int]) -> Dict[str, int]:
+    """One sweep's cache traffic: delta vs. the pre-sweep snapshot.
+
+    The deltas also feed the process-wide obs metrics registry
+    (``harness.cache.*``), so long-lived callers can diff registry
+    snapshots across sweeps, and — when ``REPRO_OBS`` streams this
+    sweep — land as a ``sweep_summary`` event after the workers'
+    run events.
+    """
+    if cache is None:
+        return {"hits": 0, "misses": 0, "writes": 0}
+    summary = {name: count - before.get(name, 0)
+               for name, count in cache.stats().items()}
+    for name, count in summary.items():
+        REGISTRY.inc("harness.cache.%s" % name, count)
+    path = os.environ.get(OBS_ENV)
+    if path:
+        log = EventLog(path)
+        log.emit("sweep_summary", **summary)
+        log.flush()
+    return summary
+
+
+def _with_obs(config: MachineConfig) -> MachineConfig:
+    """Worker-side obs knob: append events to the ``REPRO_OBS`` path.
+
+    The path travels by environment (inherited by pool processes)
+    rather than through job tuples so cell descriptors — and
+    therefore cache keys — can never depend on it.
+    """
+    path = os.environ.get(OBS_ENV)
+    if path:
+        config.obs_events = path
+    return config
 
 
 def _cell_config(kind: str, timing: bool, engine: str) -> MachineConfig:
@@ -161,11 +218,11 @@ def cell_descriptor(workload: str, kind: str, timing: bool,
 def run_cell(job: Tuple[str, str, bool, str]):
     """Worker entry point: run one (workload, kind) matrix cell."""
     workload, kind, timing, engine = job
-    config = _cell_config(kind, timing, engine)
+    config = _with_obs(_cell_config(kind, timing, engine))
     if kind == KIND_OBJTABLE:
         model = ObjectTableModel()
-        run_workload(workload, config, observer=model)
-        return ObjTableSummary(model)
+        result = run_workload(workload, config, observer=model)
+        return ObjTableSummary(model, result.manifest)
     return run_workload(workload, config)
 
 
@@ -191,6 +248,7 @@ def run_benchmark_matrix_parallel(
     if with_baselines:
         kinds += [KIND_CCURED, KIND_OBJTABLE]
 
+    before = cache.stats() if cache is not None else {}
     jobs = [(name, kind, timing, engine)
             for name in names for kind in kinds]
     results: Dict[Tuple[str, str], object] = {}
@@ -220,6 +278,7 @@ def run_benchmark_matrix_parallel(
         if cache is not None:
             for job, key in zip(pending, pending_keys):
                 cache.put(key, results[job[:2]])
+    _sweep_cache_summary(cache, before)
 
     matrix: Dict[str, BenchmarkRun] = {}
     for name in names:
@@ -251,7 +310,7 @@ def _ccured_fraction_cell(
         config = MachineConfig(mode=SafetyMode.FULL,
                                encoding="uncompressed",
                                engine_factory=_engine_factory(fraction))
-    return name, fraction, run_workload(name, config).cycles
+    return name, fraction, run_workload(name, _with_obs(config)).cycles
 
 
 def sweep_ccured_safe_fraction_parallel(
@@ -289,12 +348,14 @@ def _objtable_elision_cell(job: Tuple[str, Optional[float], str]):
     """
     name, fraction, engine = job
     if fraction is None:
-        return run_workload(name, MachineConfig.plain(engine=engine))
+        return run_workload(name,
+                            _with_obs(MachineConfig.plain(engine=engine)))
     model = ObjectTableModel(elide_fraction=fraction)
-    run_workload(name, MachineConfig.hardbound(timing=False,
-                                               engine=engine),
-                 observer=model)
-    return ObjTableSummary(model)
+    result = run_workload(
+        name, _with_obs(MachineConfig.hardbound(timing=False,
+                                                engine=engine)),
+        observer=model)
+    return ObjTableSummary(model, result.manifest)
 
 
 def _objtable_descriptor(name: str, fraction: Optional[float],
@@ -347,7 +408,8 @@ def _tag_cache_cell(job: Tuple[str, int, str, str]):
     name, size, encoding, engine = job
     params = CacheParams(tag_cache_size=size)
     return run_workload(
-        name, MachineConfig.hardbound(encoding=encoding, engine=engine),
+        name, _with_obs(MachineConfig.hardbound(encoding=encoding,
+                                                engine=engine)),
         cache_params=params)
 
 
@@ -401,6 +463,7 @@ def sweep_tag_cache_parallel(
 def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
                      cache: Optional[ResultCache]) -> Dict:
     """Resolve jobs through the cache, shard the misses over a pool."""
+    before = cache.stats() if cache is not None else {}
     results: Dict = {}
     pending = []
     pending_keys: List[Optional[str]] = []
@@ -427,6 +490,7 @@ def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
         if cache is not None:
             for job, key in zip(pending, pending_keys):
                 cache.put(key, results[job])
+    _sweep_cache_summary(cache, before)
     return results
 
 
@@ -452,7 +516,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="run a sensitivity sweep instead of a "
                              "figure matrix")
+    parser.add_argument("--obs", default=None, metavar="PATH",
+                        help="append every cell's obs JSONL event "
+                             "stream to PATH (cached cells emit "
+                             "nothing; render with python -m "
+                             "repro.obs.report)")
     args = parser.parse_args(argv)
+    if args.obs:
+        os.environ[OBS_ENV] = args.obs
 
     if args.engine not in ENGINES:
         parser.error("unknown engine %r (have: %s)"
@@ -487,8 +558,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "tag-miss-rate"], rows,
                                "Tag cache size sensitivity (extern4)"))
         if cache is not None:
-            print("\ncache: %d hit(s), %d miss(es) at %s"
-                  % (cache.hits, cache.misses, cache.path))
+            summary = cache.stats()
+            print("\ncache: %(hits)d hit(s), %(misses)d miss(es), "
+                  "%(writes)d write(s)" % summary
+                  + " at " + cache.path)
         return 0
     matrix = run_benchmark_matrix_parallel(
         workloads=args.workloads, workers=args.workers, cache=cache,
@@ -497,8 +570,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     headers, rows = table_fn[args.figure](matrix)
     print(format_table(headers, rows, "Figure %d" % args.figure))
     if cache is not None:
-        print("\ncache: %d hit(s), %d miss(es) at %s"
-              % (cache.hits, cache.misses, cache.path))
+        summary = cache.stats()
+        print("\ncache: %(hits)d hit(s), %(misses)d miss(es), "
+              "%(writes)d write(s)" % summary
+              + " at " + cache.path)
     return 0
 
 

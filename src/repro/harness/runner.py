@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from typing import Dict, Iterable, Optional
 
@@ -47,9 +48,16 @@ def compile_cached(source: str, mode: InstrumentMode,
 def run_workload(workload, config: MachineConfig,
                  cache_params: Optional[CacheParams] = None,
                  observer=None, optimize: bool = True) -> RunResult:
-    """Run one workload (by name or object) under a configuration."""
+    """Run one workload (by name or object) under a configuration.
+
+    With event tracing on and no explicit label, the workload name is
+    stamped as the run's ``obs_label`` so obs reports and A/B diffs
+    can match runs across files.
+    """
     if isinstance(workload, str):
         workload = WORKLOADS[workload]
+    if config.obs_events and not config.obs_label:
+        config = dataclasses.replace(config, obs_label=workload.name)
     program = compile_cached(workload.source, mode_for_config(config),
                              optimize)
     cpu = CPU(program, config, cache_params)

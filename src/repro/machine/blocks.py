@@ -99,6 +99,7 @@ from __future__ import annotations
 import re
 import types
 import weakref
+from time import perf_counter
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
@@ -1447,13 +1448,17 @@ def execute_blocks(cpu):
 
     env = bind_env(cpu)
     code = decode_program(cpu, env)
+    t0 = perf_counter()
     table = build_block_table(cpu, code, env)
+    cpu.timers.add("cfg_fusion", perf_counter() - t0)
     n = len(code)
     limit = cpu.config.max_instructions
     pc = cpu.pc
     lpc = pc
     icount = cpu.icount
     blen = 1
+    t0 = perf_counter()
+    timed = False
     try:
         while True:
             entry = table[pc]
@@ -1475,6 +1480,9 @@ def execute_blocks(cpu):
             npc = code[pc](pc)
             pc = pc + 1 if npc is None else npc
     except HaltSignal as halt:
+        # the phase must land before RunResult snapshots it
+        cpu.timers.add("execute", perf_counter() - t0)
+        timed = True
         state = _rewind(halt, icount, lpc, blen, None)
         if state is None:
             cpu.icount = icount
@@ -1515,6 +1523,9 @@ def execute_blocks(cpu):
         else:
             cpu.icount, cpu.pc = state
         raise
+    finally:
+        if not timed:
+            cpu.timers.add("execute", perf_counter() - t0)
 
 
 # -- superblock traces --------------------------------------------------------
@@ -1726,8 +1737,13 @@ def _form_trace(head: int, blocks_by_start: Dict[int, BasicBlock],
 
 def _introspection(trace_sizes, trace_dispatches, side_exits,
                    single_steps, fallback_ops, counts,
-                   cross_call_traces, ret_mispredicts) -> dict:
-    """The ``cpu.engine_stats`` record of a superblocks run."""
+                   cross_call_traces, ret_mispredicts,
+                   limit_demotions) -> dict:
+    """The ``cpu.engine_stats`` record of a superblocks run.
+
+    The key set is frozen in :mod:`repro.obs.schema` and documented
+    in ``docs/OBSERVABILITY.md``; change all three together.
+    """
     formed = len(trace_sizes)
     return {
         "engine": "superblocks",
@@ -1752,6 +1768,9 @@ def _introspection(trace_sizes, trace_dispatches, side_exits,
         "ret_mispredicts": ret_mispredicts,
         "ret_mispredict_rate": (ret_mispredicts / trace_dispatches
                                 if trace_dispatches else 0.0),
+        # trace dispatches demoted to the base block because the
+        # whole-trace charge would overrun the instruction limit
+        "limit_demotions": limit_demotions,
     }
 
 
@@ -1780,6 +1799,7 @@ def execute_superblocks(cpu):
     threshold = config.superblock_threshold
     max_blocks = config.superblock_max_blocks
     call_depth = getattr(config, "superblock_call_depth", 0)
+    t0 = perf_counter()
     fuser = _Fuser(cpu, code, env, fuse_generic=True)
     program = cpu.program
     plans = _plan_cache.get(program)
@@ -1797,9 +1817,21 @@ def execute_superblocks(cpu):
         if base is not None:
             table[entry_pc] = base + (None,)
     counts = [0] * n
+    #: per-trace-head dispatch counts — always on; one list-index
+    #: increment per trace entry is the entire hot-path cost, and
+    #: ``sum(tcounts)`` replaces the old scalar dispatch counter
+    tcounts = [0] * n
+    #: (head, branch_pc) → off-trace exits taken, bumped on the
+    #: already-slow side-exit path; ``sum`` of it replaces the old
+    #: scalar side-exit counter
+    sxcounts: Dict[tuple, int] = {}
+    #: head → (n_blocks, has_call, trace_len) for run-end profiles
+    trace_meta: Dict[int, tuple] = {}
     trace_sizes: List[int] = []
     cross_call_traces = 0
     ret_mispredicts = 0
+    limit_demotions = 0
+    obs = cpu.obs
     xpc = fuser.xpc
     # recorded traces from earlier runs of this program install at
     # build time: warm runs start fully trace-covered
@@ -1814,8 +1846,13 @@ def execute_superblocks(cpu):
             continue
         table[head] = (fn, tlen, fall, last, (pcs, exits, base))
         trace_sizes.append(n_blocks)
+        trace_meta[head] = (n_blocks, has_call, tlen)
         if has_call:
             cross_call_traces += 1
+        if obs is not None:
+            obs.emit("trace_formed", head=head, blocks=n_blocks,
+                     instrs=tlen, has_call=has_call, source="plan")
+    cpu.timers.add("cfg_fusion", perf_counter() - t0)
     #: CFG nodes for chain growth, built on the first formation
     blocks_by_start: Optional[Dict[int, BasicBlock]] = None
     limit = config.max_instructions
@@ -1824,10 +1861,10 @@ def execute_superblocks(cpu):
     icount = cpu.icount
     blen = 1
     tpcs = None
-    trace_dispatches = 0
-    side_exits = 0
     single_steps = 0
     stats_done = False
+    timers_add = cpu.timers.add
+    t0 = perf_counter()
     try:
         while True:
             entry = table[pc]
@@ -1839,7 +1876,7 @@ def execute_superblocks(cpu):
                         icount = nic
                         lpc = last
                         tpcs = extra[0]
-                        trace_dispatches += 1
+                        tcounts[pc] += 1
                         npc = fn(pc)
                         if npc is None:
                             pc = fall
@@ -1849,7 +1886,9 @@ def execute_superblocks(cpu):
                             exit_pc, rem, bpc = extra[1][-1 - npc]
                             icount -= rem
                             lpc = bpc
-                            side_exits += 1
+                            sxkey = (pc, bpc)
+                            sxcounts[sxkey] = sxcounts.get(sxkey,
+                                                           0) + 1
                             if exit_pc is None:
                                 # inlined-ret prediction guard: the
                                 # actual target travels via _xpc
@@ -1861,11 +1900,13 @@ def execute_superblocks(cpu):
                     # the whole-trace charge would overrun the
                     # instruction limit: demote to the underlying
                     # block for this dispatch
+                    limit_demotions += 1
                     fn, blen, fall, last, extra = extra[2]
                 else:
                     c = counts[pc] + 1
                     counts[pc] = c
                     if c == threshold and max_blocks > 1:
+                        tf0 = perf_counter()
                         if blocks_by_start is None:
                             cfg = (fuser.cfg
                                    if fuser.cfg is not None
@@ -1879,8 +1920,20 @@ def execute_superblocks(cpu):
                         if formed is not None:
                             table[pc] = formed[0]
                             trace_sizes.append(formed[1])
+                            trace_meta[pc] = (formed[1], formed[2],
+                                              formed[0][1])
                             if formed[2]:
                                 cross_call_traces += 1
+                            if obs is not None:
+                                obs.emit("trace_formed", head=pc,
+                                         blocks=formed[1],
+                                         instrs=formed[0][1],
+                                         has_call=formed[2],
+                                         source="profile")
+                        # formation nests inside the execute phase;
+                        # reports show execute net of this
+                        timers_add("trace_formation",
+                                   perf_counter() - tf0)
                 nic = icount + blen
                 if nic <= limit:
                     icount = nic
@@ -1900,6 +1953,8 @@ def execute_superblocks(cpu):
             npc = code[pc](pc)
             pc = pc + 1 if npc is None else npc
     except HaltSignal as halt:
+        # phase and stats must land before RunResult snapshots them
+        timers_add("execute", perf_counter() - t0)
         state = _rewind(halt, icount, lpc, blen, tpcs)
         if state is None:
             cpu.icount = icount
@@ -1907,8 +1962,9 @@ def execute_superblocks(cpu):
         else:
             cpu.icount, cpu.pc = state
         cpu.engine_stats = _introspection(
-            trace_sizes, trace_dispatches, side_exits, single_steps,
-            fallback_ops, counts, cross_call_traces, ret_mispredicts)
+            trace_sizes, sum(tcounts), sum(sxcounts.values()),
+            single_steps, fallback_ops, counts, cross_call_traces,
+            ret_mispredicts, limit_demotions)
         stats_done = True
         return RunResult(cpu, halt.code)
     except IndexError as exc:
@@ -1943,10 +1999,33 @@ def execute_superblocks(cpu):
         raise
     finally:
         # the halt path snapshots before building its RunResult (the
-        # result captures engine_stats at construction); only the
-        # trap paths still need the snapshot here
+        # result captures engine_stats and phases at construction);
+        # only the trap paths still need the snapshot here
         if not stats_done:
+            timers_add("execute", perf_counter() - t0)
             cpu.engine_stats = _introspection(
-                trace_sizes, trace_dispatches, side_exits,
+                trace_sizes, sum(tcounts), sum(sxcounts.values()),
                 single_steps, fallback_ops, counts,
-                cross_call_traces, ret_mispredicts)
+                cross_call_traces, ret_mispredicts,
+                limit_demotions)
+        if obs is not None:
+            sx_by_head: Dict[int, int] = {}
+            for (head, _bpc), cnt in sxcounts.items():
+                sx_by_head[head] = sx_by_head.get(head, 0) + cnt
+            for head in sorted(trace_meta):
+                n_blocks, has_call, tlen = trace_meta[head]
+                entry = table[head]
+                head_pcs = (entry[4][0]
+                            if entry is not None and entry[4]
+                            else None)
+                obs.emit("trace_profile", head=head,
+                         pc_lo=min(head_pcs) if head_pcs else head,
+                         pc_hi=max(head_pcs) if head_pcs else head,
+                         blocks=n_blocks, instrs=tlen,
+                         dispatches=tcounts[head],
+                         side_exits=sx_by_head.get(head, 0),
+                         has_call=has_call)
+            for (head, bpc), cnt in sorted(sxcounts.items()):
+                obs.emit("side_exit_profile", head=head,
+                         branch_pc=bpc, count=cnt)
+            obs.emit("demotions", count=limit_demotions)

@@ -88,6 +88,20 @@ class MachineConfig:
         behaviour of stopping every trace at call/ret boundaries;
         indirect calls and recursive back-edges always terminate
         traces regardless of this knob.
+    ``obs_events``
+        Opt-in structured event tracing (off by default, and free
+        when off).  A path string makes the run append its JSONL
+        event stream — run manifest, phase times, trace formation,
+        demotions, per-trace dispatch profiles, side-exit counts —
+        to that file (one atomic write at run end, so concurrent
+        harness workers can share a file); an
+        :class:`~repro.obs.events.EventLog` instance records into
+        that shared in-memory log instead, leaving flushing to the
+        caller.  Render the file with ``python -m repro.obs.report``.
+    ``obs_label``
+        Free-form label stamped into the run manifest (the harness
+        sets the workload name); purely cosmetic, never part of any
+        result or cache key.
     ``retain_cpu``
         Keep a strong reference to the :class:`~repro.machine.cpu.CPU`
         on the returned :class:`~repro.machine.cpu.RunResult` so its
@@ -106,6 +120,8 @@ class MachineConfig:
     superblock_threshold: int = 64
     superblock_max_blocks: int = 32
     superblock_call_depth: int = 8
+    obs_events: object = None
+    obs_label: str = ""
     retain_cpu: bool = False
     stack_size: int = STACK_SIZE
     max_instructions: int = 200_000_000

@@ -18,6 +18,7 @@ Total runtime = µops executed + memory-system stall cycles.
 from __future__ import annotations
 
 import weakref
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.caches.fast import FastMemorySystem
@@ -51,6 +52,9 @@ from repro.machine.errors import (
 from repro.machine.memory import Memory
 from repro.machine.registers import RegisterFile
 from repro.metadata.encodings import get_encoding
+from repro.obs.events import EventLog
+from repro.obs.manifest import run_manifest
+from repro.obs.metrics import PhaseTimers
 
 
 class RunResult:
@@ -76,8 +80,15 @@ class RunResult:
         self.setbound_uops = cpu.setbound_count
         #: engine-introspection snapshot (traces formed, side-exit
         #: rate, fallback single-steps, ...); ``None`` for engines
-        #: that record none — see repro.machine.blocks
+        #: that record none — the key schema per tier is frozen in
+        #: repro.obs.schema
         self.engine_stats = getattr(cpu, "engine_stats", None)
+        #: cumulative phase seconds ({"decode": ..., "execute": ...};
+        #: see repro.obs.metrics.PhaseTimers for the phase contract)
+        self.phases = cpu.timers.snapshot()
+        #: run manifest: knobs, engine, cache geometry, git sha, host
+        #: (repro.obs.manifest) — the provenance of every statistic
+        self.manifest = cpu.manifest
         self._cpu_strong = cpu if cpu.config.retain_cpu else None
         self._cpu_weak = weakref.ref(cpu)
 
@@ -160,6 +171,11 @@ class CPU:
         self.setbound_count = 0
         self.pc = program.entry
 
+        #: per-run phase timers (decode / cfg_fusion /
+        #: trace_formation / probe_compile / execute); snapshot
+        #: travels on RunResult.phases
+        self.timers = PhaseTimers()
+
         self.hb_enabled = self.config.mode is not SafetyMode.OFF
         self.full_mode = self.config.mode is SafetyMode.FULL
         encoding = get_encoding(self.config.encoding)
@@ -173,9 +189,27 @@ class CPU:
                           if self.config.engine in (ENGINE_BLOCKS,
                                                     ENGINE_SUPERBLOCKS)
                           else MemorySystem)
+            # constructing the fast model compiles its per-geometry
+            # probe sources (process-cached: later CPUs re-enter in
+            # microseconds, the first pays the compile)
+            t0 = perf_counter()
             self.memsys: Optional[MemorySystem] = memsys_cls(params)
+            self.timers.add("probe_compile", perf_counter() - t0)
         else:
             self.memsys = None
+        self.manifest = run_manifest(
+            self.config, self.memsys.params if self.memsys else None)
+        obs = self.config.obs_events
+        if obs:
+            #: opt-in event log; a path string means this CPU owns
+            #: (and flushes) the log, an EventLog instance is shared
+            #: and left to its owner
+            self._obs_owned = not isinstance(obs, EventLog)
+            self.obs: Optional[EventLog] = (
+                EventLog(str(obs)) if self._obs_owned else obs)
+        else:
+            self.obs = None
+            self._obs_owned = False
         if self.hb_enabled:
             factory = self.config.engine_factory or HardBoundEngine
             self.hb: Optional[HardBoundEngine] = factory(
@@ -227,8 +261,35 @@ class CPU:
         superblock trace engine (default), the basic-block fusion
         engine, the pre-decoded closure-threaded engine, or the
         legacy per-instruction dispatch loop.  All are bit-identical
-        in results and trap behaviour.
+        in results and trap behaviour.  With ``config.obs_events``
+        set, the run's manifest, statistics and phase times are
+        emitted as ``run_start``/``run_end`` (or ``run_abort``)
+        events around the engine's own event stream.
         """
+        obs = self.obs
+        if obs is None:
+            return self._dispatch_engine()
+        obs.emit("run_start", manifest=self.manifest)
+        try:
+            result = self._dispatch_engine()
+        except BaseException as exc:
+            obs.emit("run_abort", error=type(exc).__name__,
+                     message=str(exc), pc=self.pc,
+                     instructions=self.icount,
+                     phases=self.timers.snapshot())
+            if self._obs_owned:
+                obs.flush()
+            raise
+        obs.emit("run_end", exit_code=result.exit_code,
+                 instructions=result.instructions, uops=result.uops,
+                 stall_cycles=result.stall_cycles,
+                 cycles=result.cycles, phases=result.phases,
+                 engine_stats=result.engine_stats)
+        if self._obs_owned:
+            obs.flush()
+        return result
+
+    def _dispatch_engine(self) -> RunResult:
         if not self.force_legacy:
             if self.config.engine == ENGINE_SUPERBLOCKS:
                 from repro.machine.blocks import execute_superblocks
@@ -248,6 +309,8 @@ class CPU:
         limit = self.config.max_instructions
         pc = self.pc
         n = len(instrs)
+        t0 = perf_counter()
+        timed = False
         try:
             while True:
                 if pc >= n or pc < 0:
@@ -260,10 +323,16 @@ class CPU:
                 npc = dispatch[instr.op](instr)
                 pc = pc + 1 if npc is None else npc
         except HaltSignal as halt:
+            # the phase must land before RunResult snapshots it
+            self.timers.add("execute", perf_counter() - t0)
+            timed = True
             self.pc = pc
             return RunResult(self, halt.code)
         except Trap as trap:
             raise trap.at(self.pc)
+        finally:
+            if not timed:
+                self.timers.add("execute", perf_counter() - t0)
 
     # -- helpers ---------------------------------------------------------
 

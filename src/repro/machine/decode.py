@@ -29,6 +29,7 @@ next to the millions of instructions a workload executes.
 
 from __future__ import annotations
 
+from time import perf_counter
 from types import SimpleNamespace
 from typing import Callable, List, Optional
 
@@ -300,6 +301,7 @@ def decode_program(cpu, env: SimpleNamespace = None,
     superblock engine's choice, since its fused templates leave most
     closures unused.
     """
+    t0 = perf_counter()
     if env is None:
         env = bind_env(cpu)
     value = env.value
@@ -1290,8 +1292,13 @@ def decode_program(cpu, env: SimpleNamespace = None,
         Op.HALT: build_halt, Op.ABORT: build_abort,
     }
     if lazy:
-        return _LazyCode(builders, cpu.program.instrs)
-    return [builders[instr.op](instr) for instr in cpu.program.instrs]
+        # lazy closures are built on first use inside the run loop;
+        # only the builder setup is charged to the decode phase
+        code = _LazyCode(builders, cpu.program.instrs)
+    else:
+        code = [builders[instr.op](instr) for instr in cpu.program.instrs]
+    cpu.timers.add("decode", perf_counter() - t0)
+    return code
 
 
 def execute_decoded(cpu):
@@ -1310,6 +1317,8 @@ def execute_decoded(cpu):
     pc = cpu.pc
     lpc = pc
     icount = cpu.icount
+    t0 = perf_counter()
+    timed = False
     try:
         # ``pc`` can never go negative (branch targets are label
         # indices, indirect targets are masked-unsigned register
@@ -1325,6 +1334,9 @@ def execute_decoded(cpu):
             npc = fn(pc)
             pc = pc + 1 if npc is None else npc
     except HaltSignal as halt:
+        # the phase must land before RunResult snapshots it
+        cpu.timers.add("execute", perf_counter() - t0)
+        timed = True
         cpu.icount = icount
         cpu.pc = pc
         return RunResult(cpu, halt.code)
@@ -1344,3 +1356,6 @@ def execute_decoded(cpu):
         cpu.icount = icount
         cpu.pc = lpc
         raise
+    finally:
+        if not timed:
+            cpu.timers.add("execute", perf_counter() - t0)

@@ -1,0 +1,145 @@
+"""Always-on counters and monotonic phase timers.
+
+Two small primitives, both designed so the *hot path* pays nothing
+it was not already paying:
+
+* :class:`MetricsRegistry` — a flat name → number map with
+  snapshot/diff semantics.  Incrementing is one dict operation;
+  there are no locks (CPython dict ops are atomic enough for the
+  in-process counting done here, and the sharded harness keeps one
+  registry per worker process).  The module-level :data:`REGISTRY`
+  is the process-wide instance the harness feeds (sweep cache
+  hits/misses/writes, cells run).
+
+* :class:`PhaseTimers` — wall-clock accumulators charged at *phase
+  granularity* (a run has a handful of phase transitions, never one
+  per instruction), following the low-overhead statistical-counter
+  rule: keep the increment local and cheap, pay aggregation costs at
+  read time.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Flat registry of named counters with snapshot/diff semantics.
+
+    Counter names are dotted strings (``"sweep.cache.hits"``).
+    Values are plain ints or floats; a counter springs into existence
+    at first increment.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to ``name`` (creating it at 0)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of every counter."""
+        return dict(self.counters)
+
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Deltas of the live counters against a prior snapshot.
+
+        Only counters that changed (or appeared) since ``before``
+        are included — the natural unit for "what did this sweep
+        do".
+        """
+        out: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+
+#: the process-wide registry (harness cache statistics land here)
+REGISTRY = MetricsRegistry()
+
+
+class _Phase:
+    """Context manager charging one phase on exit."""
+
+    __slots__ = ("timers", "name", "t0")
+
+    def __init__(self, timers: "PhaseTimers", name: str):
+        self.timers = timers
+        self.name = name
+
+    def __enter__(self):
+        self.t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.timers.add(self.name, perf_counter() - self.t0)
+        return False
+
+
+class PhaseTimers:
+    """Monotonic wall-clock accumulators, one per pipeline phase.
+
+    The engines charge the canonical phases ``decode`` (closure
+    specialization + env binding), ``cfg_fusion`` (block discovery
+    and template fusion, including warm-plan trace rebinding),
+    ``trace_formation`` (superblock chain growth + trace closure
+    generation; nested *inside* ``execute`` because formation
+    happens at threshold crossings mid-run), ``probe_compile``
+    (memory-system construction, where per-geometry probe sources
+    compile) and ``execute`` (the dispatch loop, wall-clock, entry
+    to exit).  Nothing enforces that set — ad-hoc phases time fine —
+    but the report CLI knows how to present the canonical ones.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, dt: float) -> None:
+        """Charge ``dt`` seconds (one call) to ``phase``."""
+        seconds = self.seconds
+        seconds[phase] = seconds.get(phase, 0.0) + dt
+        calls = self.calls
+        calls[phase] = calls.get(phase, 0) + 1
+
+    def phase(self, name: str) -> _Phase:
+        """``with timers.phase("decode"): ...``"""
+        return _Phase(self, name)
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{phase: cumulative_seconds}`` copy (the shape carried on
+        ``RunResult.phases`` and in ``run_end`` events)."""
+        return dict(self.seconds)
+
+    def total(self) -> float:
+        """Sum of all phase seconds (phases may nest; see class doc —
+        ``trace_formation`` time is also inside ``execute``)."""
+        return sum(self.seconds.values())
+
+
+def execute_net(phases: Optional[Dict[str, float]]) -> float:
+    """Execution-loop seconds net of nested trace formation.
+
+    ``execute`` is measured around the whole dispatch loop;
+    superblock trace formation runs *inside* that loop at threshold
+    crossings, so subtracting it out gives the pure dispatch time.
+    """
+    if not phases:
+        return 0.0
+    return max(phases.get("execute", 0.0)
+               - phases.get("trace_formation", 0.0), 0.0)

@@ -1,0 +1,358 @@
+"""Render observability artifacts on the terminal.
+
+Usage::
+
+    python -m repro.obs.report summary RUN.jsonl [--top N]
+    python -m repro.obs.report diff A B [--top N]
+
+``summary`` renders, from one obs JSONL (any number of runs — e.g. a
+whole Olden sweep appended into one file):
+
+* a per-run result table (cycles, instructions, traces, side-exit
+  rate),
+* a phase-time breakdown (decode / probe compile / CFG+fusion /
+  trace formation / execute),
+* the top-N hot traces by dispatch count with their pc ranges,
+* a side-exit heatmap (which branch pcs leak off-trace, with bars).
+
+``diff`` A/B-compares two artifacts of the *same* kind: either two
+obs JSONL files (per-label cycles/instructions/execute-seconds
+deltas) or two ``results/BENCH_engine.json`` records (per-engine
+sweep seconds, speedups and trace stats deltas).
+
+Every renderer is importable — the bench harness calls them to write
+``results/obs_report.txt`` — and the CLI is just argument plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.figures import format_table
+from repro.obs.events import read_events, run_label, split_runs
+from repro.obs.metrics import execute_net
+
+#: phase columns of the breakdown table, in pipeline order
+PHASES = ("decode", "probe_compile", "cfg_fusion",
+          "trace_formation", "execute")
+
+
+# -- artifact loading --------------------------------------------------------
+
+def load_artifact(path: str):
+    """Classify and load one artifact.
+
+    Returns ``("bench", record_dict)`` for a ``BENCH_engine.json``
+    style record (a single JSON object with a ``speedups`` key) or
+    ``("events", [event, ...])`` for an obs JSONL.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(1 << 20)
+    try:
+        record = json.loads(head)
+    except ValueError:
+        record = None
+    if isinstance(record, dict) and "speedups" in record:
+        return "bench", record
+    return "events", list(read_events(path))
+
+
+# -- per-run aggregation -----------------------------------------------------
+
+class RunSummary:
+    """Everything the renderers need from one run's event group."""
+
+    __slots__ = ("label", "stats", "phases", "engine_stats",
+                 "trace_profiles", "side_exit_profiles", "aborted")
+
+    def __init__(self, run: List[dict]):
+        self.label = run_label(run)
+        self.stats: Dict = {}
+        self.phases: Dict[str, float] = {}
+        self.engine_stats: Optional[dict] = None
+        self.trace_profiles: List[dict] = []
+        self.side_exit_profiles: List[dict] = []
+        self.aborted = False
+        for event in run:
+            ev = event.get("ev")
+            if ev == "run_end":
+                self.stats = event
+                self.phases = event.get("phases") or {}
+                self.engine_stats = event.get("engine_stats")
+            elif ev == "run_abort":
+                self.aborted = True
+                self.stats = event
+                self.phases = event.get("phases") or {}
+            elif ev == "trace_profile":
+                self.trace_profiles.append(event)
+            elif ev == "side_exit_profile":
+                self.side_exit_profiles.append(event)
+
+
+def summarize(events: List[dict]) -> List[RunSummary]:
+    """Group a JSONL event stream into per-run summaries."""
+    return [RunSummary(run) for run in split_runs(events)
+            if any(e.get("ev") == "run_start" for e in run)]
+
+
+# -- summary tables ----------------------------------------------------------
+
+def runs_table(runs: List[RunSummary]) -> str:
+    headers = ["run", "exit", "instructions", "cycles", "traces",
+               "trace-disp", "side-exit-rate"]
+    rows = []
+    for run in runs:
+        stats = run.stats
+        es = run.engine_stats or {}
+        rows.append([
+            run.label,
+            "abort" if run.aborted else str(stats.get("exit_code",
+                                                      "?")),
+            str(stats.get("instructions", "?")),
+            str(stats.get("cycles", "?")),
+            str(es.get("traces_formed", "-")),
+            str(es.get("trace_dispatches", "-")),
+            ("%.3f" % es["side_exit_rate"]
+             if "side_exit_rate" in es else "-"),
+        ])
+    return format_table(headers, rows, "Runs")
+
+
+def phase_table(runs: List[RunSummary]) -> str:
+    """Phase-time breakdown, one row per run plus an aggregate.
+
+    ``execute`` is shown net of nested trace formation (see
+    :func:`repro.obs.metrics.execute_net`); the ``total`` column is
+    the non-overlapping sum.
+    """
+    headers = ["run"] + list(PHASES) + ["total"]
+    rows = []
+    agg = {phase: 0.0 for phase in PHASES}
+    for run in runs:
+        phases = run.phases
+        cells = [run.label]
+        total = 0.0
+        for phase in PHASES:
+            value = (execute_net(phases) if phase == "execute"
+                     else phases.get(phase, 0.0))
+            agg[phase] += value
+            total += value
+            cells.append("%.4fs" % value)
+        cells.append("%.4fs" % total)
+        rows.append(cells)
+    if len(rows) > 1:
+        rows.append(["TOTAL"]
+                    + ["%.4fs" % agg[phase] for phase in PHASES]
+                    + ["%.4fs" % sum(agg.values())])
+    return format_table(headers, rows,
+                        "Phase times (execute net of trace "
+                        "formation)")
+
+
+def hot_traces_table(runs: List[RunSummary], top: int = 10) -> str:
+    """Top-N traces by dispatch count across every run."""
+    entries = []
+    for run in runs:
+        for profile in run.trace_profiles:
+            entries.append((profile.get("dispatches", 0), run.label,
+                            profile))
+    entries.sort(key=lambda item: (-item[0], item[1],
+                                   item[2].get("head", 0)))
+    headers = ["run", "head", "pc-range", "blocks", "instrs",
+               "dispatches", "side-exits", "cross-call"]
+    rows = []
+    for dispatches, label, profile in entries[:top]:
+        rows.append([
+            label,
+            str(profile.get("head", "?")),
+            "%s..%s" % (profile.get("pc_lo", "?"),
+                        profile.get("pc_hi", "?")),
+            str(profile.get("blocks", "?")),
+            str(profile.get("instrs", "?")),
+            str(dispatches),
+            str(profile.get("side_exits", 0)),
+            "yes" if profile.get("has_call") else "no",
+        ])
+    return format_table(headers, rows,
+                        "Hot traces (top %d by dispatches)" % top)
+
+
+def side_exit_table(runs: List[RunSummary], top: int = 15,
+                    width: int = 24) -> str:
+    """Side-exit heatmap: which branch pcs leak off-trace."""
+    entries = []
+    for run in runs:
+        for profile in run.side_exit_profiles:
+            count = profile.get("count", 0)
+            if count:
+                entries.append((count, run.label, profile))
+    entries.sort(key=lambda item: (-item[0], item[1]))
+    peak = entries[0][0] if entries else 1
+    headers = ["run", "trace-head", "branch-pc", "exits", "heat"]
+    rows = []
+    for count, label, profile in entries[:top]:
+        bar = "#" * max(1, int(round(width * count / peak)))
+        rows.append([label, str(profile.get("head", "?")),
+                     str(profile.get("branch_pc", "?")),
+                     str(count), bar])
+    return format_table(headers, rows,
+                        "Side-exit heatmap (top %d branch sites)"
+                        % top)
+
+
+def render_summary(events: List[dict], top: int = 10) -> str:
+    """The full ``summary`` report for one JSONL event stream."""
+    runs = summarize(events)
+    if not runs:
+        return "no runs recorded (is obs_events enabled?)"
+    sections = [runs_table(runs), phase_table(runs),
+                hot_traces_table(runs, top),
+                side_exit_table(runs)]
+    return "\n\n".join(sections)
+
+
+# -- diffs -------------------------------------------------------------------
+
+def _delta(a: float, b: float) -> str:
+    if not a:
+        return "n/a"
+    return "%+.1f%%" % (100.0 * (b - a) / a)
+
+
+def diff_bench(a: dict, b: dict) -> str:
+    """A/B diff of two ``BENCH_engine.json`` records."""
+    sections = []
+    for sweep in ("functional", "timed"):
+        rows = []
+        sa = (a.get("seconds") or {}).get(sweep) or {}
+        sb = (b.get("seconds") or {}).get(sweep) or {}
+        for engine in sorted(set(sa) | set(sb)):
+            va, vb = sa.get(engine), sb.get(engine)
+            rows.append([engine,
+                         "%.3fs" % va if va is not None else "-",
+                         "%.3fs" % vb if vb is not None else "-",
+                         _delta(va, vb)
+                         if None not in (va, vb) else "n/a"])
+        sections.append(format_table(
+            ["engine", "A", "B", "delta"], rows,
+            "%s sweep seconds" % sweep))
+    rows = []
+    spa = (a.get("speedups") or {}).get("timed") or {}
+    spb = (b.get("speedups") or {}).get("timed") or {}
+    for name in sorted(set(spa) | set(spb)):
+        va, vb = spa.get(name), spb.get(name)
+        rows.append([name,
+                     "%.2fx" % va if va is not None else "-",
+                     "%.2fx" % vb if vb is not None else "-",
+                     _delta(va, vb) if None not in (va, vb)
+                     else "n/a"])
+    sections.append(format_table(["speedup", "A", "B", "delta"],
+                                 rows, "timed speedups"))
+    rows = []
+    ta = a.get("trace_stats") or {}
+    tb = b.get("trace_stats") or {}
+    for name in ("traces_formed", "mean_trace_blocks",
+                 "cross_call_traces", "ret_mispredict_rate"):
+        va, vb = ta.get(name), tb.get(name)
+        if va is None and vb is None:
+            continue
+        rows.append([name, str(va), str(vb)])
+    if rows:
+        sections.append(format_table(["trace-stat", "A", "B"], rows,
+                                     "Olden trace stats"))
+    oa = (a.get("obs_overhead") or {}).get("ratio")
+    ob = (b.get("obs_overhead") or {}).get("ratio")
+    if oa is not None or ob is not None:
+        sections.append(format_table(
+            ["obs-overhead-ratio", "A", "B"],
+            [["events-off/on", str(oa), str(ob)]],
+            "Instrumentation overhead"))
+    return "\n\n".join(sections)
+
+
+def _by_label(runs: List[RunSummary]) -> Dict[str, RunSummary]:
+    out: Dict[str, RunSummary] = {}
+    for run in runs:
+        out.setdefault(run.label, run)
+    return out
+
+
+def diff_events(a: List[dict], b: List[dict]) -> str:
+    """A/B diff of two obs JSONL runs, matched by run label."""
+    runs_a = _by_label(summarize(a))
+    runs_b = _by_label(summarize(b))
+    headers = ["run", "cycles A", "cycles B", "delta",
+               "instrs A", "instrs B", "exec A", "exec B", "delta"]
+    rows = []
+    for label in sorted(set(runs_a) | set(runs_b)):
+        ra, rb = runs_a.get(label), runs_b.get(label)
+        if ra is None or rb is None:
+            rows.append([label] + ["-"] * 8)
+            continue
+        ca = ra.stats.get("cycles")
+        cb = rb.stats.get("cycles")
+        ea = execute_net(ra.phases)
+        eb = execute_net(rb.phases)
+        rows.append([
+            label, str(ca), str(cb),
+            _delta(ca, cb) if None not in (ca, cb) else "n/a",
+            str(ra.stats.get("instructions")),
+            str(rb.stats.get("instructions")),
+            "%.4fs" % ea, "%.4fs" % eb, _delta(ea, eb),
+        ])
+    return format_table(headers, rows, "A/B run diff (by label)")
+
+
+def render_diff(path_a: str, path_b: str) -> str:
+    kind_a, data_a = load_artifact(path_a)
+    kind_b, data_b = load_artifact(path_b)
+    if kind_a != kind_b:
+        raise SystemExit(
+            "cannot diff a %s artifact against a %s artifact"
+            % (kind_a, kind_b))
+    if kind_a == "bench":
+        return diff_bench(data_a, data_b)
+    return diff_events(data_a, data_b)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render obs JSONL traces and bench-record diffs")
+    parser.add_argument("command", nargs="?", default="summary",
+                        help='"summary" (default) or "diff"; a bare '
+                             "path is treated as summary PATH")
+    parser.add_argument("paths", nargs="*",
+                        help="one JSONL for summary; two artifacts "
+                             "for diff")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the hot-trace table")
+    args = parser.parse_args(argv)
+
+    command = args.command
+    paths = list(args.paths)
+    if command not in ("summary", "diff"):
+        paths.insert(0, command)  # bare-path shorthand
+        command = "summary"
+    if command == "summary":
+        if len(paths) != 1:
+            parser.error("summary takes exactly one JSONL path")
+        kind, data = load_artifact(paths[0])
+        if kind != "events":
+            parser.error("%s is a bench record; summary wants an "
+                         "obs JSONL (use diff for bench records)"
+                         % paths[0])
+        print(render_summary(data, top=args.top))
+        return 0
+    if len(paths) != 2:
+        parser.error("diff takes exactly two artifact paths")
+    print(render_diff(paths[0], paths[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -113,3 +113,67 @@ def test_run_workload_accepts_name_or_object():
 
 def test_encodings_constant_matches_paper_order():
     assert ENCODINGS == ("extern4", "intern4", "intern11")
+
+
+# -- golden output / round-trip coverage (PR 7) ------------------------------
+
+def test_format_table_golden_output():
+    text = format_table(["name", "value"],
+                        [["a", "1.00x"], ["bb", "12.34x"]],
+                        title="Overheads")
+    assert text == ("Overheads\n"
+                    "=========\n"
+                    "name  value \n"
+                    "----  ------\n"
+                    "a     1.00x \n"
+                    "bb    12.34x")
+
+
+def test_format_table_without_title():
+    text = format_table(["h"], [["x"]])
+    assert text == "h\n-\nx"
+
+
+def test_figure5_cells_round_trip_the_overheads(small_matrix):
+    headers, rows = figure5_table(small_matrix)
+    total_col = headers.index("total-overhead")
+    for row in rows:
+        name, enc = row[0], row[1]
+        if name == "average":
+            continue
+        bench = small_matrix[name]
+        expected = "%.1f%%" % (100 * (bench.overhead(enc) - 1.0))
+        assert row[total_col] == expected
+
+
+def test_figure6_cells_round_trip_the_page_overheads(small_matrix):
+    headers, rows = figure6_table(small_matrix)
+    extra_col = headers.index("extra-pages")
+    for row in rows:
+        name, enc = row[0], row[1]
+        if name == "average":
+            continue
+        pages = small_matrix[name].page_overhead(enc)
+        assert row[extra_col] == "%.1f%%" % (100 * pages["total"])
+
+
+def test_figure7_cells_round_trip_the_measurements(small_matrix):
+    headers, rows = figure7_table(small_matrix)
+    sim_int11 = headers.index("int11(sim)")
+    pub_int11 = headers.index("int11(pub)")
+    for row in rows:
+        name = row[0]
+        if name == "average":
+            continue
+        bench = small_matrix[name]
+        assert row[sim_int11] == "%.2f" % bench.overhead("intern11")
+        assert row[pub_int11] \
+            == "%.2f" % FIGURE7_PUBLISHED[name]["intern11"]
+
+
+def test_figure_tables_render_deterministically(small_matrix):
+    for builder in (figure5_table, figure6_table, figure7_table):
+        headers, rows = builder(small_matrix)
+        again = builder(small_matrix)
+        assert format_table(headers, rows) \
+            == format_table(*again)

@@ -12,6 +12,7 @@ from repro.harness.parallel import (
     sweep_tag_cache_parallel,
 )
 from repro.harness.runner import run_benchmark_matrix
+from repro.obs.metrics import REGISTRY
 from repro.harness.sweeps import (
     sweep_ccured_safe_fraction,
     sweep_objtable_elision,
@@ -45,11 +46,20 @@ def assert_matrices_equal(parallel, serial):
 class TestShardedMatrix:
     def test_matches_serial_and_warm_rerun_hits_cache(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
+        before = REGISTRY.snapshot()
         parallel = run_benchmark_matrix_parallel(
             workloads=WORKLOADS, encodings=ENCODINGS, workers=2,
             cache=cache)
         assert cache.hits == 0
         assert cache.misses == CELLS
+        assert cache.writes == CELLS
+        assert cache.stats() == {"hits": 0, "misses": CELLS,
+                                 "writes": CELLS}
+        # the sweep feeds the process-wide metrics registry
+        delta = REGISTRY.diff(before)
+        assert delta["harness.cache.misses"] == CELLS
+        assert delta["harness.cache.writes"] == CELLS
+        assert "harness.cache.hits" not in delta
 
         serial = run_benchmark_matrix(workloads=WORKLOADS,
                                       encodings=ENCODINGS)
@@ -57,11 +67,14 @@ class TestShardedMatrix:
 
         # warm rerun: every cell served from disk, no worker touched
         warm_cache = ResultCache(str(tmp_path / "cache"))
+        before = REGISTRY.snapshot()
         warm = run_benchmark_matrix_parallel(
             workloads=WORKLOADS, encodings=ENCODINGS, workers=2,
             cache=warm_cache)
         assert warm_cache.hits == CELLS
         assert warm_cache.misses == 0
+        assert warm_cache.writes == 0
+        assert REGISTRY.diff(before)["harness.cache.hits"] == CELLS
         assert_matrices_equal(warm, serial)
 
     def test_source_change_invalidates_cell_key(self):
@@ -84,6 +97,47 @@ class TestShardedMatrix:
         assert isinstance(summary, ObjTableSummary)
         clone = pickle.loads(pickle.dumps(summary))
         assert clone.extra_uops == summary.extra_uops
+
+    def test_obs_env_var_streams_worker_events(self, tmp_path,
+                                               monkeypatch):
+        from repro.obs.events import read_events
+
+        path = str(tmp_path / "sweep.jsonl")
+        monkeypatch.setenv("REPRO_OBS", path)
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_benchmark_matrix_parallel(workloads=("treeadd",),
+                                      encodings=ENCODINGS, workers=2,
+                                      cache=cache)
+        events = list(read_events(path))
+        starts = [e for e in events if e.get("ev") == "run_start"]
+        # base + intern11 + ccured + objtable, one run each, all
+        # appended atomically by the worker processes
+        assert len(starts) == 4
+        assert {e["manifest"]["label"] for e in starts} \
+            == {"treeadd"}
+        assert any(e.get("ev") == "run_end" for e in events)
+        # the parent appends the sweep's cache traffic at the end
+        summary = events[-1]
+        assert summary["ev"] == "sweep_summary"
+        assert summary["misses"] == 4
+        assert summary["writes"] == 4
+
+    def test_obs_knobs_never_reach_cache_keys(self):
+        # turning tracing on must not cold-start the result cache
+        descriptor = cell_descriptor("treeadd", "intern11", True,
+                                     "superblocks")
+        assert "obs" not in repr(descriptor)
+
+    def test_cell_results_carry_their_manifest(self):
+        result = run_cell(("treeadd", "intern11", False, "blocks"))
+        manifest = pickle.loads(pickle.dumps(result)).manifest
+        assert manifest["engine"] == "blocks"
+        assert manifest["encoding"] == "intern11"
+        assert manifest["timing"] is False
+        summary = run_cell(("treeadd", "objtable", False, "decoded"))
+        assert summary.manifest["mode"] == "full"
+        assert pickle.loads(pickle.dumps(summary)).manifest \
+            == summary.manifest
 
 
 class TestShardedSweeps:
