@@ -26,7 +26,12 @@ run; this script is the step right after it and fails the build when
   not actually run and pass: the gate demands the junit record the
   suite step emits (``--junitxml``), and checks every required test
   module is present with zero failures, errors or skips.  A build
-  that silently dropped the equivalence proof must not be green.
+  that silently dropped the equivalence proof must not be green, or
+* (when ``--fuzz-junit`` is given) the differential fuzz smoke
+  (``pytest -m fuzz``, fixed seeds, >= 200 programs through all four
+  engines x both memory models) did not run and pass — same
+  present/zero-failure/zero-skip demands against the smoke's junit
+  record.
 
 The same-host baseline ratios (``blocks_vs_pr2_blocks`` /
 ``blocks_vs_pr3_blocks`` / ``superblocks_vs_pr4_blocks`` /
@@ -108,6 +113,12 @@ REQUIRED_SUITES = (
     "tests.machine.test_superblocks",
     "tests.caches.test_fast",
     "tests.minic.test_optimizer",
+)
+
+#: test modules whose presence in the fuzz junit record proves the
+#: differential fuzz smoke (``pytest -m fuzz``) ran in this build
+REQUIRED_FUZZ = (
+    "tests.fuzz.test_smoke",
 )
 
 
@@ -196,13 +207,15 @@ def check_record(path: str, floor: float, errors: list) -> None:
                   % (extra, value))
 
 
-def check_junit(path: str, errors: list) -> None:
+def check_junit(path: str, errors: list,
+                label: str = "differential suite",
+                required: tuple = REQUIRED_SUITES) -> None:
     try:
         root = ET.parse(path).getroot()
     except (OSError, ET.ParseError) as exc:
-        errors.append("differential suite junit record %s missing or "
-                      "unreadable (%s) — the equivalence suite did "
-                      "not run" % (path, exc))
+        errors.append("%s junit record %s missing or "
+                      "unreadable (%s) — the suite did "
+                      "not run" % (label, path, exc))
         return
     suites = ([root] if root.tag == "testsuite"
               else root.findall("testsuite"))
@@ -215,22 +228,22 @@ def check_junit(path: str, errors: list) -> None:
         skipped += int(suite.get("skipped", 0))
         for case in suite.iter("testcase"):
             classnames.add(case.get("classname") or "")
-    print("bench-gate: differential suite ran %d tests "
-          "(%d failed, %d skipped)" % (tests, failures, skipped))
+    print("bench-gate: %s ran %d tests "
+          "(%d failed, %d skipped)" % (label, tests, failures, skipped))
     if tests == 0:
-        errors.append("differential suite junit records zero tests")
+        errors.append("%s junit records zero tests" % label)
     if failures:
-        errors.append("differential suite junit records %d "
-                      "failures/errors" % failures)
+        errors.append("%s junit records %d "
+                      "failures/errors" % (label, failures))
     if skipped:
-        errors.append("differential suite junit records %d skipped "
-                      "tests — the equivalence proof must run in "
-                      "full" % skipped)
-    for module in REQUIRED_SUITES:
+        errors.append("%s junit records %d skipped "
+                      "tests — the suite must run in "
+                      "full" % (label, skipped))
+    for module in required:
         if not any(name == module or name.startswith(module + ".")
                    for name in classnames):
             errors.append("required suite %s is absent from the "
-                          "junit record" % module)
+                          "%s junit record" % (module, label))
 
 
 def main(argv=None) -> int:
@@ -240,6 +253,10 @@ def main(argv=None) -> int:
     parser.add_argument("--junit", default="results/diff_suite.xml",
                         help="junit xml emitted by the differential "
                              "suite step of this build")
+    parser.add_argument("--fuzz-junit", default=None, metavar="PATH",
+                        help="junit xml emitted by the fuzz smoke "
+                             "step; when given, the smoke must have "
+                             "run in full with zero failures")
     parser.add_argument("--floor", type=float,
                         default=FLOOR_TIMED_BLOCKS_VS_DECODED,
                         help="minimum timed blocks_vs_decoded speedup")
@@ -247,6 +264,9 @@ def main(argv=None) -> int:
     errors: list = []
     check_record(args.record, args.floor, errors)
     check_junit(args.junit, errors)
+    if args.fuzz_junit:
+        check_junit(args.fuzz_junit, errors, label="fuzz smoke",
+                    required=REQUIRED_FUZZ)
     for message in errors:
         print("bench-gate: FAIL: %s" % message, file=sys.stderr)
     if not errors:

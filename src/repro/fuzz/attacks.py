@@ -1,0 +1,255 @@
+"""Randomized violation corpus: attacks HardBound must trap.
+
+Extends the 288-pair spatial corpus of
+:mod:`repro.harness.violations` with the attack families it doesn't
+cover:
+
+``sub_object``
+    Overflow out of a struct member into its *sibling field within
+    the same allocation* — invisible to allocation-granularity
+    checking, caught only because the member pointer's bounds were
+    narrowed (the paper's Figure 1 motivating example).
+``intra_alloc``
+    Explicit ``__setbound`` narrowing of a slice of one heap block,
+    then an access past the slice but still inside the block.
+``uaf``
+    Use-after-free: read or write a freed heap word under the
+    temporal extension (Section 6.2) — must raise
+    ``UseAfterFreeError``.  The probe index is always ≥ 1 because
+    ``free`` keeps user word 0 live as its free-list link.
+``double_free``
+    Freeing the same pointer twice — must raise
+    ``DoubleFreeError``.
+``stale_realloc``
+    The MTE tag-reuse shape ("ARM MTE Performance in Practice"):
+    free, re-``malloc`` (the allocator recycles the chunk, whose
+    ``__setbound`` re-arms the freed words), then access through the
+    *stale* old pointer.  The word-granularity temporal tracker
+    cannot distinguish the stale pointer from the fresh one, so this
+    is a **known miss** (``must_trap=False``) — committed here to
+    document the gap the planned MTE-style tag baseline closes.
+
+Each family also generates a *benign twin* (same shape, in-bounds /
+still-live accesses) that must run to completion — the
+zero-false-positive half of the contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+from repro.fuzz.rng import fuzz_rng
+from repro.harness.violations import _RUNTIME
+from repro.machine.config import MachineConfig
+from repro.machine.errors import (
+    BoundsError,
+    DoubleFreeError,
+    MemoryFault,
+    NonPointerError,
+    Trap,
+    UseAfterFreeError,
+)
+from repro.minic.driver import compile_and_run
+
+FAMILIES = ("sub_object", "intra_alloc", "uaf", "double_free",
+            "stale_realloc")
+
+#: spatial + temporal exception classes that count as detection
+SPATIAL_TRAPS = (BoundsError, NonPointerError, MemoryFault)
+TEMPORAL_TRAPS = (UseAfterFreeError, DoubleFreeError)
+
+
+@dataclasses.dataclass
+class AttackCase:
+    """One generated attack with its benign twin."""
+
+    name: str
+    family: str
+    seed: int
+    attack_source: str
+    benign_source: str
+    must_trap: bool            # False only for the documented miss
+    temporal: bool             # needs the temporal tracker + stdlib
+    expected: tuple            # acceptable trap classes for detection
+
+    def config(self) -> MachineConfig:
+        return MachineConfig.hardbound(timing=False,
+                                       temporal=self.temporal)
+
+
+def _sub_object(rng: random.Random, seed: int) -> AttackCase:
+    pre = rng.choice((4, 8))
+    buf_len = rng.choice((4, 6, 8))
+    write = rng.random() < 0.5
+    over = buf_len + rng.randrange(0, 3)   # into pre/post siblings
+    tmpl = (_RUNTIME +
+            "struct wrap { int pre[%d]; char buf[%d]; int post; };\n"
+            "int main() {\n"
+            "    struct wrap *w = (struct wrap*)"
+            "vmalloc(sizeof(struct wrap));\n"
+            "    char *p = w->buf;\n"
+            "    int sink = 0;\n"
+            "%s"
+            "    return sink & 1;\n"
+            "}\n")
+    probe = ("    p[%d] = (char)7;\n" if write
+             else "    sink += (int)p[%d];\n")
+    return AttackCase(
+        name="sub_object-%s-%d" % ("write" if write else "read", seed),
+        family="sub_object", seed=seed,
+        attack_source=tmpl % (pre // 4, buf_len, probe % over),
+        benign_source=tmpl % (pre // 4, buf_len,
+                              probe % (buf_len - 1)),
+        must_trap=True, temporal=False, expected=SPATIAL_TRAPS)
+
+
+def _intra_alloc(rng: random.Random, seed: int) -> AttackCase:
+    total = rng.choice((32, 48, 64))
+    lo = rng.randrange(0, (total - 16) // 4) * 4
+    width = rng.choice((8, 12, 16))
+    write = rng.random() < 0.5
+    tmpl = (_RUNTIME +
+            "int main() {\n"
+            "    char *blk = (char*)vmalloc(%d);\n"
+            "    char *slice = (char*)__setbound("
+            "(void*)(blk + %d), %d);\n"
+            "    int sink = 0;\n"
+            "%s"
+            "    return sink & 1;\n"
+            "}\n")
+    probe = ("    slice[%d] = (char)3;\n" if write
+             else "    sink += (int)slice[%d];\n")
+    over = width + rng.randrange(0, 4)     # past slice, inside block
+    return AttackCase(
+        name="intra_alloc-%s-%d" % ("write" if write else "read",
+                                    seed),
+        family="intra_alloc", seed=seed,
+        attack_source=tmpl % (total, lo, width, probe % over),
+        benign_source=tmpl % (total, lo, width, probe % (width - 1)),
+        must_trap=True, temporal=False, expected=SPATIAL_TRAPS)
+
+
+def _uaf(rng: random.Random, seed: int) -> AttackCase:
+    words = rng.choice((4, 6, 8))
+    # word 0 stays live as the allocator's free-list link; the
+    # poisoned region starts at word 1
+    idx = rng.randrange(1, words)
+    write = rng.random() < 0.5
+    tmpl = ("int main() {\n"
+            "    int *p = (int*)malloc(%d * sizeof(int));\n"
+            "    int sink = 0;\n"
+            "    p[%d] = 41;\n"
+            "    sink += p[%d];\n"
+            "%s"
+            "%s"
+            "    return sink & 1;\n"
+            "}\n")
+    probe = ("    p[%d] = 9;\n" % idx if write
+             else "    sink += p[%d];\n" % idx)
+    return AttackCase(
+        name="uaf-%s-%d" % ("write" if write else "read", seed),
+        family="uaf", seed=seed,
+        attack_source=tmpl % (words, idx, idx,
+                              "    free((void*)p);\n", probe),
+        benign_source=tmpl % (words, idx, idx, "", probe),
+        must_trap=True, temporal=True, expected=(UseAfterFreeError,))
+
+
+def _double_free(rng: random.Random, seed: int) -> AttackCase:
+    words = rng.choice((3, 5, 8))
+    tmpl = ("int main() {\n"
+            "    int *p = (int*)malloc(%d * sizeof(int));\n"
+            "    int *q = (int*)malloc(%d * sizeof(int));\n"
+            "    p[1] = 1;\n"
+            "    q[1] = 2;\n"
+            "    free((void*)p);\n"
+            "    free((void*)%s);\n"
+            "    return 0;\n"
+            "}\n")
+    return AttackCase(
+        name="double_free-%d" % seed,
+        family="double_free", seed=seed,
+        attack_source=tmpl % (words, words, "p"),
+        benign_source=tmpl % (words, words, "q"),
+        must_trap=True, temporal=True, expected=(DoubleFreeError,))
+
+
+def _stale_realloc(rng: random.Random, seed: int) -> AttackCase:
+    words = rng.choice((4, 8))
+    idx = rng.randrange(1, words)
+    tmpl = ("int main() {\n"
+            "    int *p = (int*)malloc(%d * sizeof(int));\n"
+            "    int *q;\n"
+            "    int sink = 0;\n"
+            "    p[%d] = 5;\n"
+            "    free((void*)p);\n"
+            "    q = (int*)malloc(%d * sizeof(int));\n"
+            "    q[%d] = 6;\n"
+            "    sink += %s[%d];\n"
+            "    return sink & 1;\n"
+            "}\n")
+    return AttackCase(
+        name="stale_realloc-%d" % seed,
+        family="stale_realloc", seed=seed,
+        # the stale pointer p aliases the recycled chunk: a true
+        # temporal violation the word-granularity tracker misses
+        attack_source=tmpl % (words, idx, words, idx, "p", idx),
+        benign_source=tmpl % (words, idx, words, idx, "q", idx),
+        must_trap=False, temporal=True, expected=TEMPORAL_TRAPS)
+
+
+_BUILDERS = {
+    "sub_object": _sub_object,
+    "intra_alloc": _intra_alloc,
+    "uaf": _uaf,
+    "double_free": _double_free,
+    "stale_realloc": _stale_realloc,
+}
+
+
+def generate_attack(seed: int,
+                    family: Optional[str] = None) -> AttackCase:
+    """One deterministic attack pair (family drawn from the seed)."""
+    rng, seed = fuzz_rng(seed)
+    if family is None:
+        family = FAMILIES[rng.randrange(len(FAMILIES))]
+    return _BUILDERS[family](rng, seed)
+
+
+def generate_attacks(count: int, start_seed: int = 0,
+                     family: Optional[str] = None) -> List[AttackCase]:
+    return [generate_attack(start_seed + i, family)
+            for i in range(count)]
+
+
+def run_attack(case: AttackCase) -> Tuple[str, Optional[str], str]:
+    """Run one pair; returns ``(verdict, trap_name, detail)``.
+
+    Verdicts: ``detected`` (attack trapped with an expected class),
+    ``missed`` (attack completed silently), ``wrong_trap``,
+    ``false_positive`` (benign twin trapped) or ``benign_failed``.
+    A ``must_trap=False`` case reports ``known_miss`` instead of
+    ``missed``.
+    """
+    config = case.config()
+    verdict, trap_name, detail = "missed", None, ""
+    try:
+        compile_and_run(case.attack_source, config,
+                        include_stdlib=case.temporal)
+        if not case.must_trap:
+            verdict = "known_miss"
+    except case.expected as exc:
+        verdict, trap_name = "detected", type(exc).__name__
+    except Trap as exc:
+        verdict, trap_name = "wrong_trap", type(exc).__name__
+        detail = str(exc)
+    try:
+        compile_and_run(case.benign_source, config,
+                        include_stdlib=case.temporal)
+    except Trap as exc:
+        return ("false_positive", type(exc).__name__, str(exc))
+    except Exception as exc:
+        return ("benign_failed", None, str(exc))
+    return verdict, trap_name, detail

@@ -1,0 +1,358 @@
+"""Random well-formed assembly over the full instruction registry.
+
+Programs are generated so that
+
+* **termination is guaranteed**: every data-dependent loop decrements
+  a dedicated *fuel* register (r11) on its back-edge and jumps to the
+  exit label when it hits zero, and statically-bounded loops carry a
+  masked trip count — no generated program can run away, with or
+  without an instruction limit;
+* **memory safety is by construction**: every dereference goes
+  through a bounded pointer (``setbound`` over a stack, global or
+  heap buffer) with the index masked into the buffer, so programs
+  run to completion under ``SafetyMode.FULL`` — except for an
+  optional deliberate out-of-bounds finale (it must trap identically
+  under every engine, and is benign under the plain core);
+* **the whole registry is exercised**: propagating and
+  non-propagating ALU forms (register and immediate), ``xchg``,
+  ``lea``, comparisons, sub-word and scaled load/store, pointer
+  spill/reload through memory (tag paths), ``setbound`` narrowing,
+  ``sbrk`` growth, ``readbase``/``readbound``/``setunsafe``/
+  ``clrbnd``, direct and indirect (``setcode``/``callr``) calls,
+  branches, bounded loops, ``print``/``printc`` output.
+
+Register convention (fixed, so statements compose freely):
+
+====  =====================================================
+r1-4  scratch integer values
+r5    short-lived derived/narrowed pointer
+r6    load destination / guarded divisor / code pointer
+r7    masked index
+r8    stack buffer pointer   (bounded, 64 bytes)
+r9    global buffer pointer  (bounded, 64 bytes)
+r10   heap buffer pointer    (bounded, 64 bytes)
+r11   fuel counter
+r12   loop trip counter
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.fuzz.rng import fuzz_rng
+
+#: bytes per generated buffer (stack, global and heap alike)
+BUF = 64
+
+#: back-edge budget: every loop iteration burns one unit and bails to
+#: the exit label at zero, bounding dynamic instructions structurally
+DEFAULT_FUEL = 96
+
+_SCRATCH = ("r1", "r2", "r3", "r4")
+_PTRS = ("r8", "r9", "r10")
+
+#: (mnemonic, immediate-allowed) for the three-operand ALU statement;
+#: div/mod are emitted separately with a guarded divisor
+_ALU3 = (("add", True), ("sub", True), ("mul", True), ("and", True),
+         ("or", True), ("xor", True), ("seq", True), ("sne", True),
+         ("slt", True), ("sle", True), ("sgt", True), ("sge", True),
+         ("sltu", True), ("sgeu", True))
+
+_SHIFTS = ("shl", "shr", "sra")
+
+#: (load mnemonic, store mnemonic, width, word-ish index mask)
+_WIDTHS = (("load", "store", 4, 0x3C),
+           ("loadh", "storeh", 2, 0x3E),
+           ("loadb", "storeb", 1, 0x3F))
+
+
+class _Emitter:
+    """Accumulates lines and hands out unique labels."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._label = 0
+
+    def op(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def label(self, name: str) -> None:
+        self.lines.append(name + ":")
+
+    def fresh(self, stem: str) -> str:
+        self._label += 1
+        return "L%s_%d" % (stem, self._label)
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, fuel: int):
+        self.rng = rng
+        self.e = _Emitter()
+        self.fuel = fuel
+        self.helpers: List[str] = []
+        self.exit_label = "Lexit"
+
+    # -- small pieces -------------------------------------------------------
+
+    def scratch(self) -> str:
+        return self.rng.choice(_SCRATCH)
+
+    def ptr(self) -> str:
+        return self.rng.choice(_PTRS)
+
+    def imm(self, lo: int = -64, hi: int = 64) -> int:
+        return self.rng.randrange(lo, hi + 1)
+
+    def mask_index(self, mask: int) -> None:
+        """r7 <- scratch & mask (the bounded-index idiom)."""
+        self.e.op("and r7, %s, %d" % (self.scratch(), mask))
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt_alu3(self) -> None:
+        mnem, imm_ok = self.rng.choice(_ALU3)
+        rd, rs = self.scratch(), self.scratch()
+        if imm_ok and self.rng.random() < 0.4:
+            self.e.op("%s %s, %s, %d" % (mnem, rd, rs, self.imm()))
+        else:
+            self.e.op("%s %s, %s, %s" % (mnem, rd, rs, self.scratch()))
+
+    def stmt_shift(self) -> None:
+        mnem = self.rng.choice(_SHIFTS)
+        self.e.op("%s %s, %s, %d" % (mnem, self.scratch(),
+                                     self.scratch(),
+                                     self.rng.randrange(0, 16)))
+
+    def stmt_divmod(self) -> None:
+        # the divisor is |scratch| forced odd via ``or``, so the
+        # divide can never trap (deliberate traps are the finale's job)
+        mnem = self.rng.choice(("div", "mod"))
+        self.e.op("or r6, %s, 1" % self.scratch())
+        self.e.op("%s %s, %s, r6" % (mnem, self.scratch(),
+                                     self.scratch()))
+
+    def stmt_alu2(self) -> None:
+        mnem = self.rng.choice(("neg", "not"))
+        self.e.op("%s %s, %s" % (mnem, self.scratch(), self.scratch()))
+
+    def stmt_xchg(self) -> None:
+        self.e.op("xchg %s, %s" % (self.scratch(), self.scratch()))
+
+    def stmt_mov(self) -> None:
+        if self.rng.random() < 0.5:
+            self.e.op("mov %s, %d" % (self.scratch(),
+                                      self.imm(-4096, 4096)))
+        else:
+            self.e.op("mov %s, %s" % (self.scratch(), self.scratch()))
+
+    def stmt_meta(self) -> None:
+        """Metadata-only registry coverage (never dereferenced)."""
+        mnem = self.rng.choice(("readbase", "readbound", "setunsafe",
+                                "clrbnd"))
+        src = self.ptr() if mnem in ("readbase", "readbound") \
+            else self.scratch()
+        self.e.op("%s r6, %s" % (mnem, src))
+        self.e.op("and %s, r6, 1023" % self.scratch())
+
+    def stmt_mem(self) -> None:
+        load, store, width, mask = self.rng.choice(_WIDTHS)
+        ptr = self.ptr()
+        self.mask_index(mask)
+        if self.rng.random() < 0.3 and width == 4:
+            # scaled form with headroom: idx<=15 scaled by 2 plus a
+            # small displacement stays below BUF-4
+            self.e.op("and r7, %s, 15" % self.scratch())
+            operand = "[%s + r7*2 + %d]" % (ptr, self.rng.randrange(0, 25))
+        else:
+            operand = "[%s + r7]" % ptr
+        if self.rng.random() < 0.5:
+            self.e.op("%s r6, %s" % (load, operand))
+            self.e.op("add %s, r6, %d" % (self.scratch(), self.imm(0, 8)))
+        else:
+            self.e.op("%s %s, %s" % (store, operand, self.scratch()))
+
+    def stmt_lea_deref(self) -> None:
+        """``lea`` propagates the base pointer's bounds (Fig 3)."""
+        ptr = self.ptr()
+        self.e.op("and r7, %s, 15" % self.scratch())
+        self.e.op("lea r5, [%s + r7*2 + %d]"
+                  % (ptr, self.rng.randrange(0, 17)))
+        if self.rng.random() < 0.5:
+            self.e.op("load r6, [r5 + %d]" % self.rng.randrange(0, 13))
+        else:
+            self.e.op("store [r5], %s" % self.scratch())
+
+    def stmt_narrow(self) -> None:
+        """setbound a 16-byte sub-object and access inside it."""
+        ptr = self.ptr()
+        off = self.rng.randrange(0, 9) * 4      # 16-byte window fits
+        self.e.op("lea r5, [%s + %d]" % (ptr, off))
+        self.e.op("setbound r5, r5, 16")
+        self.e.op("and r7, %s, 12" % self.scratch())
+        if self.rng.random() < 0.5:
+            self.e.op("load r6, [r5 + r7]")
+        else:
+            self.e.op("store [r5 + r7], %s" % self.scratch())
+
+    def stmt_spill(self) -> None:
+        """Pointer store/reload through memory: tag-path coverage."""
+        src = self.rng.choice(("r9", "r10"))
+        slot = self.rng.choice((0, 4))
+        self.e.op("store [r8 + %d], %s" % (slot, src))
+        self.e.op("load r5, [r8 + %d]" % slot)
+        _, _, _, mask = _WIDTHS[0]
+        self.e.op("and r7, %s, %d" % (self.scratch(), mask))
+        self.e.op("load r6, [r5 + r7]")
+
+    def stmt_sbrk(self) -> None:
+        self.e.op("and r4, %s, 28" % self.scratch())
+        self.e.op("add r4, r4, 4")
+        self.e.op("sbrk r4")
+        self.e.op("and r4, r4, 2047")   # keep the raw break harmless
+
+    def stmt_print(self) -> None:
+        if self.rng.random() < 0.75:
+            self.e.op("print %s" % self.scratch())
+        else:
+            self.e.op("and r6, %s, 63" % self.scratch())
+            self.e.op("add r6, r6, 48")  # printable ASCII
+            self.e.op("printc r6")
+
+    def stmt_if(self, depth: int) -> None:
+        r = self.scratch()
+        l_else = self.e.fresh("else")
+        l_end = self.e.fresh("end")
+        mnem = self.rng.choice(("beqz", "bnez"))
+        self.e.op("%s %s, %s" % (mnem, r, l_else))
+        self.block(self.rng.randrange(1, 4), depth + 1, loops=False)
+        self.e.op("jmp %s" % l_end)
+        self.e.label(l_else)
+        self.block(self.rng.randrange(1, 4), depth + 1, loops=False)
+        self.e.label(l_end)
+
+    def stmt_loop(self, depth: int) -> None:
+        head = self.e.fresh("loop")
+        self.e.op("and r12, %s, 7" % self.scratch())
+        self.e.op("add r12, r12, 1")
+        self.e.label(head)
+        self.block(self.rng.randrange(1, 5), depth + 1, loops=False)
+        # fuel first: the back-edge can never outlive the budget
+        self.e.op("sub r11, r11, 1")
+        self.e.op("beqz r11, %s" % self.exit_label)
+        if self.rng.random() < 0.25:
+            # data-dependent back-edge (terminates via fuel alone)
+            self.e.op("and r6, %s, 3" % self.scratch())
+            self.e.op("bnez r6, %s" % head)
+        else:
+            self.e.op("sub r12, r12, 1")
+            self.e.op("bnez r12, %s" % head)
+
+    def stmt_call(self) -> None:
+        if not self.helpers:
+            return self.stmt_alu3()
+        fn = self.rng.choice(self.helpers)
+        if self.rng.random() < 0.3:
+            self.e.op("setcode r6, %s" % fn)
+            self.e.op("callr r6")
+        else:
+            self.e.op("call %s" % fn)
+
+    # -- composition --------------------------------------------------------
+
+    def block(self, n: int, depth: int, loops: bool = True) -> None:
+        simple = [self.stmt_alu3, self.stmt_alu3, self.stmt_shift,
+                  self.stmt_divmod, self.stmt_alu2, self.stmt_xchg,
+                  self.stmt_mov, self.stmt_mem, self.stmt_mem,
+                  self.stmt_lea_deref, self.stmt_narrow,
+                  self.stmt_spill, self.stmt_meta, self.stmt_sbrk,
+                  self.stmt_print, self.stmt_call]
+        for _ in range(n):
+            roll = self.rng.random()
+            if depth < 2 and loops and roll < 0.18:
+                self.stmt_loop(depth)
+            elif depth < 3 and roll < 0.30:
+                self.stmt_if(depth)
+            else:
+                self.rng.choice(simple)()
+
+    def helper_body(self, name: str) -> None:
+        self.e.label(name)
+        for _ in range(self.rng.randrange(2, 7)):
+            self.rng.choice((self.stmt_alu3, self.stmt_shift,
+                             self.stmt_mem, self.stmt_mov,
+                             self.stmt_divmod, self.stmt_print))()
+        self.e.op("ret")
+
+    def generate(self, seed: int, stmts: int,
+                 trap_finale: bool) -> str:
+        e = self.e
+        e.lines.append("; repro.fuzz isa program (seed=%d)" % seed)
+        e.label("main")
+        e.op("mov r11, %d" % self.fuel)
+        for i, reg in enumerate(_SCRATCH):
+            e.op("mov %s, %d" % (reg, self.rng.randrange(-99, 100)))
+        e.op("mov r6, 0")
+        e.op("mov r7, 0")
+        # stack buffer
+        e.op("sub sp, sp, %d" % BUF)
+        e.op("mov r8, sp")
+        e.op("setbound r8, r8, %d" % BUF)
+        # global buffer
+        e.op("mov r9, =gbuf")
+        e.op("setbound r9, r9, %d" % BUF)
+        # heap buffer
+        e.op("mov r5, %d" % BUF)
+        e.op("sbrk r5")
+        e.op("setbound r10, r5, %d" % BUF)
+        # deterministic nonzero seed data (statically bounded loop)
+        e.op("mov r12, %d" % (BUF // 8))
+        e.op("mov r7, 0")
+        e.label("Linit")
+        e.op("store [r10 + r7*4], r12")
+        e.op("store [r9 + r7*4], r7")
+        e.op("store [r8 + r7*4], r7")
+        e.op("add r7, r7, 1")
+        e.op("sub r12, r12, 1")
+        e.op("bnez r12, Linit")
+
+        # helper functions are declared up front so calls can target
+        # them; bodies are appended after the exit block
+        for i in range(self.rng.randrange(0, 3)):
+            self.helpers.append("fn_%d" % i)
+
+        self.block(stmts, depth=0)
+
+        if trap_finale:
+            # one past the bound: BoundsError under HardBound modes,
+            # a benign in-arena read under the plain core — either
+            # way every engine must agree exactly
+            e.op("load r6, [r10 + %d]" % BUF)
+
+        e.label(self.exit_label)
+        e.op("print r1")
+        e.op("and r1, r1, 255")
+        e.op("halt r1")
+        body_mark = len(e.lines)
+        for fn in self.helpers:
+            self.helper_body(fn)
+        # helpers that ended up uncalled are still fine (dead code)
+        del body_mark
+        e.lines.append("    .data")
+        e.lines.append("gbuf: .space %d" % BUF)
+        return "\n".join(e.lines) + "\n"
+
+
+def generate_isa_program(seed: int, stmts: Optional[int] = None,
+                         fuel: int = DEFAULT_FUEL) -> str:
+    """Generate one deterministic random assembly program.
+
+    ``REPRO_FUZZ_SEED`` overrides ``seed`` (reproduction contract);
+    the effective seed is stamped into the program's header comment.
+    """
+    rng, seed = fuzz_rng(seed)
+    if stmts is None:
+        stmts = rng.randrange(6, 18)
+    trap_finale = rng.random() < 0.15
+    return _Gen(rng, fuel).generate(seed, stmts, trap_finale)

@@ -1,0 +1,234 @@
+"""Random typed, pointer-heavy MiniC source.
+
+The point of fuzzing at the source level (on top of
+:mod:`repro.fuzz.isagen`) is that every generated program flows
+through the *whole* pipeline — lexer, parser, sema, codegen, the
+textual peephole optimizer, the assembler — before it ever reaches
+the engines, so the oracle's ``optimize`` on/off differential fuzzes
+the compiler too, not just the cores.
+
+Generated programs are total by construction:
+
+* every loop has a constant trip count (``for (i = 0; i < K; ...)``
+  or a list walk over a list of statically-known length);
+* every division/modulo uses a nonzero constant divisor;
+* every array index is masked into the allocation (``buf[e & 15]``);
+* shifts are masked to ``& 15``;
+* the only ``free`` is followed by a fresh ``malloc`` before any
+  further use (benign free/realloc — the temporal tracker must stay
+  silent).
+
+They are pointer-heavy on purpose: int and char heap buffers,
+pointer-taking helper functions, and (about half the time) a
+linked-list build-and-walk over a generated struct, so ``setbound``
+propagation, sub-word accesses and tagged pointer loads/stores all
+get traffic.  Each program ends ``print(acc); return acc & 255;`` so
+output and exit status both depend on the computation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.fuzz.rng import fuzz_rng
+
+#: int elements in the heap buffer (indices masked with & 15)
+INTS = 16
+#: bytes in the char buffer (indices masked with & 31)
+CHARS = 32
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+_CMPS = ("<", "<=", ">", ">=", "==", "!=")
+_VARS = ("a", "b", "c", "d")
+
+
+class _Gen:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.lines: List[str] = []
+        self.use_list = rng.random() < 0.5
+        self.n_helpers = rng.randrange(0, 3)
+
+    def w(self, text: str, indent: int = 1) -> None:
+        self.lines.append("    " * indent + text)
+
+    # -- expressions --------------------------------------------------------
+
+    def scalar(self) -> str:
+        r = self.rng.random()
+        if r < 0.45:
+            return self.rng.choice(_VARS)
+        if r < 0.6:
+            return self.rng.choice(("g0", "g1"))
+        return str(self.rng.randrange(-40, 41))
+
+    def expr(self, depth: int = 0) -> str:
+        r = self.rng.random()
+        if depth >= 2 or r < 0.35:
+            return self.scalar()
+        if r < 0.75:
+            return "(%s %s %s)" % (self.expr(depth + 1),
+                                   self.rng.choice(_BINOPS),
+                                   self.expr(depth + 1))
+        if r < 0.82:
+            return "(%s / %d)" % (self.expr(depth + 1),
+                                  self.rng.choice((2, 3, 5, 7)))
+        if r < 0.87:
+            return "(%s %% %d)" % (self.expr(depth + 1),
+                                   self.rng.choice((3, 7, 13)))
+        if r < 0.92:
+            op = self.rng.choice(("<<", ">>"))
+            return "(%s %s (%s & 15))" % (self.expr(depth + 1), op,
+                                          self.scalar())
+        if r < 0.96:
+            return "buf[%s & %d]" % (self.expr(depth + 1), INTS - 1)
+        return "(int)cb[%s & %d]" % (self.expr(depth + 1), CHARS - 1)
+
+    def cond(self) -> str:
+        return "%s %s %s" % (self.scalar(), self.rng.choice(_CMPS),
+                             self.scalar())
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, indent: int, depth: int) -> None:
+        r = self.rng.random()
+        if r < 0.30:
+            v = self.rng.choice(_VARS + ("g0", "g1"))
+            if self.rng.random() < 0.25:
+                op = self.rng.choice(("+=", "-=", "^=", "|=", "&="))
+                self.w("%s %s %s;" % (v, op, self.expr()), indent)
+            else:
+                self.w("%s = %s;" % (v, self.expr()), indent)
+        elif r < 0.45:
+            self.w("buf[%s & %d] = %s;"
+                   % (self.expr(1), INTS - 1, self.expr()), indent)
+        elif r < 0.55:
+            self.w("cb[%s & %d] = (char)(%s & 255);"
+                   % (self.expr(1), CHARS - 1, self.expr()), indent)
+        elif r < 0.63:
+            v = self.rng.choice(_VARS)
+            self.w("%s = %s ? %s : %s;"
+                   % (v, self.cond(), self.expr(1), self.expr(1)),
+                   indent)
+        elif r < 0.72 and self.n_helpers:
+            fn = "fn%d" % self.rng.randrange(self.n_helpers)
+            self.w("%s = %s(buf, %s);"
+                   % (self.rng.choice(_VARS), fn, self.expr(1)),
+                   indent)
+        elif r < 0.84 and depth < 2:
+            self.w("if (%s) {" % self.cond(), indent)
+            for _ in range(self.rng.randrange(1, 3)):
+                self.stmt(indent + 1, depth + 1)
+            if self.rng.random() < 0.5:
+                self.w("} else {", indent)
+                for _ in range(self.rng.randrange(1, 3)):
+                    self.stmt(indent + 1, depth + 1)
+            self.w("}", indent)
+        elif depth < 2:
+            # one loop variable per nesting depth: an inner loop
+            # reusing the outer counter would never terminate
+            var = "i" if depth == 0 else "j"
+            trip = self.rng.randrange(2, 13)
+            self.w("for (%s = 0; %s < %d; %s++) {"
+                   % (var, var, trip, var), indent)
+            for _ in range(self.rng.randrange(1, 4)):
+                self.stmt(indent + 1, depth + 1)
+            self.w("}", indent)
+        else:
+            self.w("%s = %s;" % (self.rng.choice(_VARS), self.expr()),
+                   indent)
+
+    # -- whole program ------------------------------------------------------
+
+    def helper(self, k: int) -> None:
+        self.lines.append("int fn%d(int *p, int x) {" % k)
+        self.w("int s;")
+        self.w("int i;")
+        self.w("s = x;")
+        trip = self.rng.randrange(2, INTS + 1)
+        body = self.rng.choice((
+            "s = s + p[i] * %d;" % self.rng.randrange(1, 5),
+            "s = (s ^ p[i]) + %d;" % self.rng.randrange(-9, 10),
+            "p[i] = p[i] + s; s = s - 1;",
+        ))
+        self.w("for (i = 0; i < %d; i++) { %s }" % (trip, body))
+        self.w("return s;")
+        self.lines.append("}")
+        self.lines.append("")
+
+    def generate(self, seed: int, stmts: Optional[int]) -> str:
+        rng = self.rng
+        self.lines.append("// repro.fuzz minic program (seed=%d)"
+                          % seed)
+        self.lines.append("int g0;")
+        self.lines.append("int g1;")
+        if self.use_list:
+            self.lines.append(
+                "struct node { int val; struct node *next; };")
+        self.lines.append("")
+        for k in range(self.n_helpers):
+            self.helper(k)
+        self.lines.append("int main() {")
+        self.w("int a = %d;" % rng.randrange(-50, 50))
+        self.w("int b = %d;" % rng.randrange(1, 50))
+        self.w("int c = %d;" % rng.randrange(0, 9))
+        self.w("int d = 0;")
+        self.w("int i;")
+        self.w("int j;")
+        self.w("int acc;")
+        self.w("int *buf = (int*)malloc(%d * sizeof(int));" % INTS)
+        self.w("char *cb = (char*)malloc(%d);" % CHARS)
+        if self.use_list:
+            self.w("struct node *head = (struct node*)0;")
+            self.w("struct node *n;")
+        self.w("for (i = 0; i < %d; i++) { buf[i] = i * %d + %d; }"
+               % (INTS, rng.randrange(1, 7), rng.randrange(-5, 6)))
+        self.w("for (i = 0; i < %d; i++) "
+               "{ cb[i] = (char)(i * %d & 255); }"
+               % (CHARS, rng.randrange(1, 9)))
+
+        if stmts is None:
+            stmts = rng.randrange(5, 14)
+        for _ in range(stmts):
+            self.stmt(1, 0)
+
+        if self.use_list:
+            nodes = rng.randrange(2, 6)
+            self.w("for (i = 0; i < %d; i++) {" % nodes)
+            self.w("n = (struct node*)malloc(sizeof(struct node));",
+                   2)
+            self.w("n->val = i * %d + a;" % rng.randrange(1, 9), 2)
+            self.w("n->next = head;", 2)
+            self.w("head = n;", 2)
+            self.w("}")
+            self.w("while (head) { d = d + head->val; "
+                   "head = head->next; }")
+
+        if rng.random() < 0.35:
+            # benign free + realloc: the chunk is recycled and fully
+            # re-blessed through malloc's __setbound before reuse
+            self.w("free((void*)buf);")
+            self.w("buf = (int*)malloc(%d * sizeof(int));" % INTS)
+            self.w("for (i = 0; i < %d; i++) { buf[i] = i; }" % INTS)
+
+        self.w("acc = a + b + c + d + g0 + g1;")
+        self.w("for (i = 0; i < %d; i++) { acc = acc + buf[i]; }"
+               % INTS)
+        self.w("for (i = 0; i < %d; i++) "
+               "{ acc = acc + (int)cb[i]; }" % CHARS)
+        self.w("print(acc);")
+        self.w("return acc & 255;")
+        self.lines.append("}")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_minic_program(seed: int,
+                           stmts: Optional[int] = None) -> str:
+    """Generate one deterministic random MiniC program.
+
+    ``REPRO_FUZZ_SEED`` overrides ``seed``; the effective seed is
+    stamped into the program's header comment.
+    """
+    rng, seed = fuzz_rng(seed)
+    return _Gen(rng).generate(seed, stmts)

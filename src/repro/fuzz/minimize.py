@@ -1,0 +1,168 @@
+"""Delta-debugging shrinker: a divergent program becomes a tiny test.
+
+Classic ddmin over the *instruction lines* of an assembly program:
+labels, directives (``.data``/``.space``) and comments are structural
+and never removed, so every candidate still assembles into the same
+skeleton; the reducer drops ever-smaller chunks of instructions while
+an *interestingness predicate* (e.g. "the oracle still reports a
+divergence", or "the program still traps with this class") keeps
+holding.  Predicates are evaluated failure-safely — a candidate that
+no longer assembles or runs simply counts as uninteresting.
+
+The output of a fuzzing session is meant to be committed:
+:func:`write_corpus_entry` drops the minimized program plus a JSON
+sidecar (seed, config, divergence fields) into
+``tests/fuzz/corpus/``, where ``tests/fuzz/test_corpus.py`` replays
+every entry through the full oracle forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, List, Optional, Tuple
+
+
+def split_lines(text: str) -> List[str]:
+    return text.splitlines()
+
+
+def is_instruction(line: str) -> bool:
+    """True for removable instruction lines (not structure)."""
+    s = line.strip()
+    if not s or s.startswith(";") or s.startswith("//"):
+        return False
+    if s.startswith("."):           # .data / .space / directives
+        return False
+    head = s.split()[0]
+    return not head.endswith(":")   # labels stay
+
+
+def instruction_count(text: str) -> int:
+    return sum(1 for line in split_lines(text) if is_instruction(line))
+
+
+def _candidate(lines: List[str], removable: List[int],
+               removed: set) -> str:
+    drop = {removable[i] for i in removed}
+    return "\n".join(line for i, line in enumerate(lines)
+                     if i not in drop) + "\n"
+
+
+def minimize_asm(text: str, predicate: Callable[[str], bool],
+                 max_checks: int = 2000) -> str:
+    """Shrink ``text`` while ``predicate`` stays true (ddmin).
+
+    ``predicate`` receives candidate program text; any exception it
+    raises counts as "not interesting".  The original text must
+    satisfy the predicate.  Runs to a 1-line-granularity fixpoint or
+    until ``max_checks`` predicate evaluations, whichever is first.
+    """
+    def safe(candidate: str) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    if not safe(text):
+        raise ValueError("original program does not satisfy the "
+                         "minimization predicate")
+    checks = 0
+    lines = split_lines(text)
+    while True:
+        removable = [i for i, line in enumerate(lines)
+                     if is_instruction(line)]
+        n = len(removable)
+        if not n:
+            break
+        shrunk = False
+        chunk = n // 2
+        while chunk >= 1:
+            start = 0
+            while start < len(removable):
+                if checks >= max_checks:
+                    return "\n".join(lines) + "\n"
+                removed = set(range(start,
+                                    min(start + chunk, len(removable))))
+                candidate = _candidate(lines, removable, removed)
+                checks += 1
+                if safe(candidate):
+                    lines = split_lines(candidate)
+                    removable = [i for i, line in enumerate(lines)
+                                 if is_instruction(line)]
+                    shrunk = True
+                    # indices shifted: restart this chunk size
+                    start = 0
+                    continue
+                start += chunk
+            chunk //= 2
+        if not shrunk:
+            break
+    return "\n".join(lines) + "\n"
+
+
+def minimize_result(result, oracle: Optional[Callable] = None,
+                    max_checks: int = 2000):
+    """Minimize a divergent ISA :class:`~repro.fuzz.oracle.FuzzResult`.
+
+    The predicate re-runs the differential oracle on the candidate
+    under the result's own configuration and keeps any candidate
+    that still diverges (not necessarily with the identical field
+    list — any divergence is worth keeping).  Returns the minimized
+    program text.  MiniC results are returned unchanged: source-level
+    reduction is out of scope, the assembly of a divergent MiniC
+    program can be minimized separately.
+    """
+    if result.level != "isa":
+        return result.program
+    from repro.isa.assembler import assemble
+    from repro.fuzz.oracle import diff_engines
+
+    if oracle is None:
+        def oracle(text):
+            return diff_engines(assemble(text), result.config)
+
+    def predicate(text):
+        return bool(oracle(text))
+
+    return minimize_asm(result.program, predicate,
+                        max_checks=max_checks)
+
+
+def corpus_name(result) -> str:
+    return "%s-seed%d" % (result.level, result.seed)
+
+
+def write_corpus_entry(corpus_dir: str, name: str, program: str,
+                       meta: dict) -> Tuple[str, str]:
+    """Write ``<name>.s`` (or ``.c``) plus ``<name>.json`` sidecar."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    ext = ".c" if meta.get("level") == "minic" else ".s"
+    prog_path = os.path.join(corpus_dir, name + ext)
+    meta_path = os.path.join(corpus_dir, name + ".json")
+    with open(prog_path, "w") as fh:
+        fh.write(program)
+    with open(meta_path, "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return prog_path, meta_path
+
+
+def load_corpus(corpus_dir: str) -> List[Tuple[str, str, dict]]:
+    """Yield ``(name, program_text, meta)`` for every corpus entry."""
+    out = []
+    if not os.path.isdir(corpus_dir):
+        return out
+    for fname in sorted(os.listdir(corpus_dir)):
+        if not fname.endswith(".json"):
+            continue
+        name = fname[:-5]
+        with open(os.path.join(corpus_dir, fname)) as fh:
+            meta = json.load(fh)
+        for ext in (".s", ".c"):
+            prog = os.path.join(corpus_dir, name + ext)
+            if os.path.exists(prog):
+                with open(prog) as fh:
+                    out.append((name, fh.read(), meta))
+                break
+    return out

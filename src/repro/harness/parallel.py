@@ -133,6 +133,25 @@ class ResultCache:
         self.writes += 1
 
 
+def map_jobs(fn, jobs: Iterable, workers: int = 2) -> List:
+    """Run ``fn`` over ``jobs`` on a process pool, preserving order.
+
+    The one pool idiom every sharded consumer shares (matrix sweeps,
+    sensitivity sweeps, the fuzz CLI): ``workers <= 1`` degrades to
+    an in-process loop — same results, no pool, picklability not
+    required — which is also the debuggable path.  ``fn`` and each
+    job must pickle when ``workers > 1``.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if workers > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers) as pool:
+            return list(pool.map(fn, jobs))
+    return [fn(job) for job in jobs]
+
+
 def _sweep_cache_summary(cache: Optional[ResultCache],
                          before: Dict[str, int]) -> Dict[str, int]:
     """One sweep's cache traffic: delta vs. the pre-sweep snapshot.
@@ -266,15 +285,9 @@ def run_benchmark_matrix_parallel(
         pending_keys.append(key)
 
     if pending:
-        if workers > 1:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                for job, result in zip(pending,
-                                       pool.map(run_cell, pending)):
-                    results[job[:2]] = result
-        else:
-            for job in pending:
-                results[job[:2]] = run_cell(job)
+        for job, result in zip(pending,
+                               map_jobs(run_cell, pending, workers)):
+            results[job[:2]] = result
         if cache is not None:
             for job, key in zip(pending, pending_keys):
                 cache.put(key, results[job[:2]])
@@ -330,10 +343,9 @@ def sweep_ccured_safe_fraction_parallel(
         [(name, None) for name in names]
     jobs += [(name, fraction) for fraction in fracs for name in names]
     cycles: Dict[Tuple[str, Optional[float]], int] = {}
-    with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers) as pool:
-        for name, fraction, cyc in pool.map(_ccured_fraction_cell, jobs):
-            cycles[(name, fraction)] = cyc
+    for name, fraction, cyc in map_jobs(_ccured_fraction_cell, jobs,
+                                        workers):
+        cycles[(name, fraction)] = cyc
     return {fraction: sum(cycles[(name, fraction)]
                           / cycles[(name, None)]
                           for name in names) / len(names)
@@ -478,15 +490,9 @@ def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
         pending.append(job)
         pending_keys.append(key)
     if pending:
-        if workers > 1:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                for job, result in zip(pending,
-                                       pool.map(cell_fn, pending)):
-                    results[job] = result
-        else:
-            for job in pending:
-                results[job] = cell_fn(job)
+        for job, result in zip(pending,
+                               map_jobs(cell_fn, pending, workers)):
+            results[job] = result
         if cache is not None:
             for job, key in zip(pending, pending_keys):
                 cache.put(key, results[job])

@@ -33,11 +33,20 @@ from typing import List, Optional, Tuple
 from repro.machine.config import MachineConfig
 from repro.machine.errors import (
     BoundsError,
+    DoubleFreeError,
     MemoryFault,
     NonPointerError,
     Trap,
+    UseAfterFreeError,
 )
 from repro.minic.driver import compile_and_run
+
+#: exception classes that count as *detection* of a violation: the
+#: spatial-safety traps plus the Section 6.2 temporal traps, so the
+#: same corpus machinery serves the temporal attack families of
+#: :mod:`repro.fuzz.attacks` under ``temporal=True`` configs
+DETECTED_TRAPS = (BoundsError, NonPointerError, MemoryFault,
+                  UseAfterFreeError, DoubleFreeError)
 
 #: elements per test buffer; char buffers use a non-multiple-of-4
 #: length so byte-granular bounds are exercised
@@ -232,7 +241,7 @@ def run_case(case: ViolationCase,
     error = None
     try:
         compile_and_run(case.bad_source, config, include_stdlib=False)
-    except (BoundsError, NonPointerError, MemoryFault):
+    except DETECTED_TRAPS:
         detected = True
     except Trap as trap:
         error = "bad variant raised unexpected trap: %s" % trap

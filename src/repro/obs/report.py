@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.obs.report summary RUN.jsonl [--top N]
     python -m repro.obs.report diff A B [--top N]
+    python -m repro.obs.report fuzz FUZZ.jsonl [--top N]
 
 ``summary`` renders, from one obs JSONL (any number of runs — e.g. a
 whole Olden sweep appended into one file):
@@ -19,6 +20,10 @@ whole Olden sweep appended into one file):
 obs JSONL files (per-label cycles/instructions/execute-seconds
 deltas) or two ``results/BENCH_engine.json`` records (per-engine
 sweep seconds, speedups and trace stats deltas).
+
+``fuzz`` renders a ``python -m repro.fuzz`` result stream: programs
+run per level/config, outcome-status and trap-class distributions,
+shard summaries, and every recorded divergence.
 
 Every renderer is importable — the bench harness calls them to write
 ``results/obs_report.txt`` — and the CLI is just argument plumbing.
@@ -213,6 +218,101 @@ def render_summary(events: List[dict], top: int = 10) -> str:
     return "\n\n".join(sections)
 
 
+# -- fuzz --------------------------------------------------------------------
+
+def fuzz_overview_table(events: List[dict]) -> str:
+    """Per-(level, safety-mode) program counts and verdicts."""
+    cells: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for event in events:
+        if event.get("ev") != "fuzz_run":
+            continue
+        config = event.get("config") or {}
+        key = (event.get("level", "?"), str(config.get("mode", "?")))
+        cell = cells.setdefault(key, {"programs": 0, "ok": 0,
+                                      "trapped": 0})
+        cell["programs"] += 1
+        cell["ok"] += 1 if event.get("ok") else 0
+        cell["trapped"] += 1 if event.get("trap") else 0
+    headers = ["level", "mode", "programs", "agreed", "trapped"]
+    rows = [[level, mode, str(cell["programs"]), str(cell["ok"]),
+             str(cell["trapped"])]
+            for (level, mode), cell in sorted(cells.items())]
+    return format_table(headers, rows, "Fuzzed programs")
+
+
+def fuzz_distribution_table(events: List[dict]) -> str:
+    """Outcome-status and trap-class distribution."""
+    status: Dict[str, int] = {}
+    traps: Dict[str, int] = {}
+    for event in events:
+        if event.get("ev") != "fuzz_run":
+            continue
+        s = event.get("status", "?")
+        status[s] = status.get(s, 0) + 1
+        trap = event.get("trap")
+        if trap:
+            traps[trap] = traps.get(trap, 0) + 1
+    rows = [["status:%s" % name, str(count)]
+            for name, count in sorted(status.items())]
+    rows += [["trap:%s" % name, str(count)]
+             for name, count in sorted(traps.items())]
+    return format_table(["outcome", "programs"], rows,
+                        "Outcome distribution")
+
+
+def fuzz_divergence_table(events: List[dict], top: int = 10) -> str:
+    """Every recorded divergence (the table everyone hopes is empty)."""
+    rows = []
+    for event in events:
+        if event.get("ev") != "fuzz_divergence":
+            continue
+        rows.append([
+            "%s:%s" % (event.get("level", "?"), event.get("seed", "?")),
+            event.get("kind", "?"),
+            event.get("engine", "?"),
+            "timed" if event.get("timing") else "functional",
+            ",".join(event.get("fields") or []) or "-",
+            (event.get("detail") or "")[:48],
+        ])
+    if not rows:
+        return format_table(
+            ["seed", "kind", "engine", "model", "fields", "detail"],
+            [["-"] * 6], "Divergences (none recorded)")
+    return format_table(
+        ["seed", "kind", "engine", "model", "fields", "detail"],
+        rows[:top], "Divergences (%d recorded)" % len(rows))
+
+
+def fuzz_shard_table(events: List[dict]) -> str:
+    headers = ["level", "seeds", "programs", "divergences", "traps"]
+    rows = []
+    for event in events:
+        if event.get("ev") != "fuzz_summary":
+            continue
+        shard = event.get("shard") or ["?", "?"]
+        traps = event.get("traps") or {}
+        rows.append([
+            event.get("level", "?"),
+            "%s..%s" % (shard[0], shard[1]),
+            str(event.get("programs", "?")),
+            str(event.get("divergences", "?")),
+            ", ".join("%s=%d" % kv for kv in sorted(traps.items()))
+            or "-",
+        ])
+    return format_table(headers, rows, "Shards")
+
+
+def render_fuzz(events: List[dict], top: int = 10) -> str:
+    """The full ``fuzz`` report for one fuzz JSONL stream."""
+    if not any(e.get("ev", "").startswith("fuzz_") for e in events):
+        return ("no fuzz events recorded (produce a stream with "
+                "python -m repro.fuzz --out PATH)")
+    return "\n\n".join([fuzz_overview_table(events),
+                        fuzz_distribution_table(events),
+                        fuzz_shard_table(events),
+                        fuzz_divergence_table(events, top)])
+
+
 # -- diffs -------------------------------------------------------------------
 
 def _delta(a: float, b: float) -> str:
@@ -324,29 +424,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Render obs JSONL traces and bench-record diffs")
     parser.add_argument("command", nargs="?", default="summary",
-                        help='"summary" (default) or "diff"; a bare '
-                             "path is treated as summary PATH")
+                        help='"summary" (default), "diff" or '
+                             '"fuzz"; a bare path is treated as '
+                             "summary PATH")
     parser.add_argument("paths", nargs="*",
-                        help="one JSONL for summary; two artifacts "
-                             "for diff")
+                        help="one JSONL for summary/fuzz; two "
+                             "artifacts for diff")
     parser.add_argument("--top", type=int, default=10,
-                        help="rows in the hot-trace table")
+                        help="rows in the hot-trace / divergence "
+                             "tables")
     args = parser.parse_args(argv)
 
     command = args.command
     paths = list(args.paths)
-    if command not in ("summary", "diff"):
+    if command not in ("summary", "diff", "fuzz"):
         paths.insert(0, command)  # bare-path shorthand
         command = "summary"
-    if command == "summary":
+    if command in ("summary", "fuzz"):
         if len(paths) != 1:
-            parser.error("summary takes exactly one JSONL path")
+            parser.error("%s takes exactly one JSONL path" % command)
         kind, data = load_artifact(paths[0])
         if kind != "events":
-            parser.error("%s is a bench record; summary wants an "
+            parser.error("%s is a bench record; %s wants an "
                          "obs JSONL (use diff for bench records)"
-                         % paths[0])
-        print(render_summary(data, top=args.top))
+                         % (paths[0], command))
+        render = render_fuzz if command == "fuzz" else render_summary
+        print(render(data, top=args.top))
         return 0
     if len(paths) != 2:
         parser.error("diff takes exactly two artifact paths")

@@ -1,0 +1,8 @@
+; an unbounded loop under a tight instruction limit: the whole-trace
+; charge would overrun the budget, so the superblock tier must
+; demote to block dispatch and stop at the identical icount/pc
+main:
+    mov r1, 0
+L:
+    add r1, r1, 1
+    jmp L

@@ -1,0 +1,12 @@
+; mid-trace bounds trap: the store walks off the heap buffer after
+; the loop has become a hot trace, so the trap must surface from
+; generated trace code with identical (pc, icount) on every engine
+main:
+    mov r1, 64
+    sbrk r1
+    setbound r2, r1, 64
+    mov r3, 0
+L:
+    store [r2 + r3], r3
+    add r3, r3, 4
+    jmp L

@@ -1,0 +1,75 @@
+"""Attack corpus: every family detected (or documented as missed)."""
+
+import pytest
+
+from repro.fuzz.attacks import (
+    FAMILIES,
+    generate_attack,
+    generate_attacks,
+    run_attack,
+)
+from repro.fuzz.rng import FUZZ_SEED_ENV
+from repro.harness.violations import DETECTED_TRAPS
+from repro.machine.errors import (
+    BoundsError,
+    DoubleFreeError,
+    UseAfterFreeError,
+)
+
+
+def test_deterministic(monkeypatch):
+    monkeypatch.delenv(FUZZ_SEED_ENV, raising=False)
+    a = generate_attack(7)
+    b = generate_attack(7)
+    assert (a.name, a.attack_source, a.benign_source) == \
+        (b.name, b.attack_source, b.benign_source)
+
+
+def test_family_draw_covers_all_families():
+    families = {generate_attack(seed).family for seed in range(40)}
+    assert families == set(FAMILIES)
+
+
+def test_detected_traps_cover_temporal():
+    assert UseAfterFreeError in DETECTED_TRAPS
+    assert DoubleFreeError in DETECTED_TRAPS
+    assert BoundsError in DETECTED_TRAPS
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_verdicts(family):
+    """Three seeds per family: attacks trap with the expected class,
+    benign twins run clean, the realloc shape is the documented
+    miss."""
+    for case in generate_attacks(3, start_seed=50, family=family):
+        verdict, trap, detail = run_attack(case)
+        if case.must_trap:
+            assert verdict == "detected", \
+                (case.name, verdict, trap, detail)
+        else:
+            assert verdict == "known_miss", \
+                (case.name, verdict, trap, detail)
+
+
+def test_uaf_probe_avoids_freelist_word():
+    """free() keeps user word 0 live as its free-list link, so the
+    UAF probe must target index >= 1 to hit poisoned memory."""
+    for seed in range(20):
+        case = generate_attack(seed, family="uaf")
+        assert "p[0]" not in case.attack_source.split("free(")[1]
+
+
+def test_stale_realloc_documents_the_gap():
+    case = generate_attack(3, family="stale_realloc")
+    assert not case.must_trap
+    assert case.temporal
+    # the attack really is temporal: stale pointer, recycled chunk
+    assert "free((void*)p)" in case.attack_source
+    assert "malloc" in case.attack_source.split("free(")[1]
+
+
+def test_spatial_families_need_no_stdlib():
+    for family in ("sub_object", "intra_alloc"):
+        case = generate_attack(11, family=family)
+        assert not case.temporal
+        assert "vmalloc" in case.attack_source

@@ -1,0 +1,86 @@
+"""Seed plumbing: the reproduction contract everything else leans on."""
+
+import pytest
+
+from repro.fuzz.rng import (
+    FUZZ_SEED_ENV,
+    fuzz_rng,
+    resolve_seed,
+    seed_banner,
+    seed_range,
+    shard_ranges,
+    spawn,
+)
+
+
+def test_resolve_seed_defaults(monkeypatch):
+    monkeypatch.delenv(FUZZ_SEED_ENV, raising=False)
+    assert resolve_seed(42) == 42
+
+
+def test_resolve_seed_env_override(monkeypatch):
+    monkeypatch.setenv(FUZZ_SEED_ENV, "1234")
+    assert resolve_seed(42) == 1234
+    monkeypatch.setenv(FUZZ_SEED_ENV, "0xC0DE")
+    assert resolve_seed(42) == 0xC0DE
+
+
+def test_resolve_seed_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(FUZZ_SEED_ENV, "not-a-seed")
+    with pytest.raises(ValueError):
+        resolve_seed(0)
+
+
+def test_fuzz_rng_deterministic(monkeypatch):
+    monkeypatch.delenv(FUZZ_SEED_ENV, raising=False)
+    rng_a, seed_a = fuzz_rng(7)
+    rng_b, seed_b = fuzz_rng(7)
+    assert seed_a == seed_b == 7
+    assert [rng_a.random() for _ in range(5)] == \
+        [rng_b.random() for _ in range(5)]
+
+
+def test_fuzz_rng_reports_effective_seed(monkeypatch):
+    monkeypatch.setenv(FUZZ_SEED_ENV, "99")
+    _rng, seed = fuzz_rng(7)
+    assert seed == 99
+
+
+def test_seed_banner_names_the_env_var():
+    banner = seed_banner(1234, "attack")
+    assert FUZZ_SEED_ENV in banner
+    assert "1234" in banner
+    assert "attack" in banner
+
+
+def test_spawn_is_stable():
+    rng_a, _ = fuzz_rng(5)
+    rng_b, _ = fuzz_rng(5)
+    assert spawn(rng_a).random() == spawn(rng_b).random()
+
+
+class TestShardRanges:
+    def test_partitions_exactly(self):
+        ranges = shard_ranges(0, 100, 7)
+        covered = [seed for lo, hi in ranges
+                   for seed in range(lo, hi)]
+        assert covered == list(range(100))
+
+    def test_contiguous_and_balanced(self):
+        ranges = shard_ranges(10, 10, 3)
+        assert ranges == [(10, 14), (14, 17), (17, 20)]
+
+    def test_more_shards_than_seeds(self):
+        ranges = shard_ranges(0, 2, 8)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_zero_seeds(self):
+        assert shard_ranges(0, 0, 4) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_ranges(0, -1, 2)
+
+    def test_seed_range_cap(self):
+        assert list(seed_range(5, 50, cap=3)) == [5, 6, 7]
+        assert list(seed_range(5, 7, cap=100)) == [5, 6]

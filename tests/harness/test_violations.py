@@ -107,3 +107,36 @@ def test_case_names_are_stable():
     case = ViolationCase("read", "upper", "heap", "char_array",
                          "const_index", "one")
     assert case.name == "read-upper-heap-char_array-const_index-one"
+
+
+# -- every engine, not just the default ------------------------------------
+
+ENGINES = ("legacy", "decoded", "blocks", "superblocks")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sampled_detection_under_every_engine(engine):
+    """The detection contract holds per engine, not just under the
+    default superblocks tier: a staggered 6-pair sample per engine
+    (24 distinct pairs across the parametrized runs via the engine
+    index) detects everything with zero false positives."""
+    offset = ENGINES.index(engine) * 12
+    cases = generate_corpus()[offset::48]
+    config = MachineConfig.hardbound(timing=False, engine=engine)
+    result = run_corpus(config, cases)
+    assert result.detected == result.total
+    assert not result.false_positives
+    assert not result.errors
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ENGINES)
+def test_full_corpus_under_every_engine(engine):
+    """All 288 pairs under every engine (the exhaustive version of
+    the sample above; ~minutes per engine, hence the slow marker)."""
+    config = MachineConfig.hardbound(timing=False, engine=engine)
+    result = run_corpus(config)
+    assert result.total == 288
+    assert result.detected == 288
+    assert not result.false_positives
+    assert not result.errors

@@ -11,10 +11,9 @@ when instruction indices change), so the memory comparison stops at
 the stack region.
 """
 
-import random
-
 import pytest
 
+from repro.fuzz.rng import fuzz_rng, seed_banner
 from repro.isa import assemble
 from repro.layout import PAGE_SHIFT, STACK_SIZE, STACK_TOP
 from repro.machine import CPU, DivideByZeroError, MachineConfig
@@ -220,8 +219,14 @@ class TestObservableEquivalence:
     @pytest.mark.parametrize("seed", range(8))
     def test_randomized_differential(self, seed):
         """Random straight-line+loop programs, optimized vs not,
-        through all four engines."""
-        rng = random.Random(0xC0DE + seed)
+        through all four engines.
+
+        ``REPRO_FUZZ_SEED`` overrides the per-case seed (all eight
+        cases then replay the same program — the reproduction
+        contract of :mod:`repro.fuzz.rng`); failures print the seed
+        to re-run with.
+        """
+        rng, effective = fuzz_rng(0xC0DE + seed)
         binops = ["+", "-", "*", "&", "|", "^"]
         lines = ["int g;", "int main() {",
                  "    int a = %d;" % rng.randrange(-50, 50),
@@ -256,7 +261,12 @@ class TestObservableEquivalence:
                   "    print(c);",
                   "    return c & 255;",
                   "}"]
-        self.run_both("\n".join(lines), MachineConfig.hardbound)
+        try:
+            self.run_both("\n".join(lines), MachineConfig.hardbound)
+        except AssertionError as err:
+            raise AssertionError(
+                "%s\n%s" % (err, seed_banner(
+                    effective, "differential program"))) from err
 
     def test_assembled_text_unaffected_by_knob(self):
         """`optimize=` only touches minic output; hand-written
