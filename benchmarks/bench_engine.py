@@ -38,6 +38,11 @@ workload):
   ``FLOOR_OBS_OVERHEAD_RATIO`` (events-off/events-on seconds ≥
   0.98, i.e. <2% slowdown) — the always-on counters themselves ride
   inside the engine and are covered by the ladder floors above;
+* the service layer (PR 9) must make persistence pay: mapping the
+  timed Olden sweep through a *warm* spawn-context worker fleet
+  (program + fusion-plan caches resident) must beat a freshly
+  spawned fleet by ``FLOOR_SERVICE_WARM_VS_COLD`` (recorded as
+  ``service_warm_vs_cold``);
 * every engine stays bit-identical to the others (enforced by
   ``tests/machine/test_engine_differential.py`` and
   ``tests/machine/test_superblocks.py``).
@@ -73,6 +78,7 @@ import time
 from check_bench_gate import (
     FLOOR_MEAN_TRACE_BLOCKS,
     FLOOR_OBS_OVERHEAD_RATIO,
+    FLOOR_SERVICE_WARM_VS_COLD,
     FLOOR_TIMED_BLOCKS_VS_DECODED,
     FLOOR_TIMED_SUPERBLOCKS_VS_BLOCKS,
     FLOOR_TIMED_SUPERBLOCKS_VS_DECODED,
@@ -253,6 +259,58 @@ def _obs_artifacts():
     return path
 
 
+def _service_warm_vs_cold():
+    """Warm persistent workers vs. a freshly spawned fleet (PR 9).
+
+    Both passes map the same timed Olden sweep (plain + HardBound per
+    workload) through :class:`repro.service.dispatch.Service` with
+    spawn-context workers, so the cold pass honestly pays process
+    start + compile + CFG/fusion-plan formation.  The warm fleet is
+    primed twice first — the superblock plan cache converges over the
+    first runs of a program, exactly like the ladder's own warm-up —
+    then timed for min-of-``ROUNDS``; the cold side is min of two
+    full spawn-map-shutdown cycles.  No result store is attached:
+    every job must execute on a worker, so the ratio measures warm
+    *processes*, not cache hits.
+    """
+    from repro.harness.parallel import run_cell
+    from repro.service import Service
+
+    jobs = [(name, kind, True, "superblocks")
+            for name in sorted(WORKLOADS)
+            for kind in ("base", "intern11")]
+    service_workers = 2
+
+    cold = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        with Service(workers=service_workers,
+                     context="spawn") as fleet:
+            fleet.map(run_cell, jobs)
+        cold = min(cold, time.perf_counter() - start)
+
+    with Service(workers=service_workers, context="spawn") as fleet:
+        for _ in range(2):
+            fleet.map(run_cell, jobs)  # prime plan caches
+        warm = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            fleet.map(run_cell, jobs)
+            warm = min(warm, time.perf_counter() - start)
+        status = fleet.status()
+
+    return {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "ratio": cold / warm if warm > 0 else float("inf"),
+        "workers": service_workers,
+        "jobs": len(jobs),
+        "warm_jobs": sum(worker["warm_jobs"]
+                         for worker in status["workers"]),
+        "rounds": ROUNDS,
+    }
+
+
 def test_engine_speedups(benchmark):
     def measure():
         seconds = {}
@@ -321,6 +379,12 @@ def test_engine_speedups(benchmark):
     write_result("engine_speedup.txt", table)
 
     obs_overhead = _obs_overhead()
+    service_warm = _service_warm_vs_cold()
+    print("\nservice warm-vs-cold: cold %.3fs, warm %.3fs, %.2fx "
+          "(%d jobs, %d workers)"
+          % (service_warm["cold_seconds"],
+             service_warm["warm_seconds"], service_warm["ratio"],
+             service_warm["jobs"], service_warm["workers"]))
     _obs_artifacts()
     trace_stats = _trace_stats_sweep()
     optimizer = _optimizer_instruction_counts()
@@ -391,6 +455,7 @@ def test_engine_speedups(benchmark):
         "trace_stats": trace_stats,
         "optimizer_instructions": optimizer,
         "obs_overhead": obs_overhead,
+        "service_warm_vs_cold": service_warm,
         "ladder_optimize": LADDER_OPTIMIZE,
     }
     write_result("BENCH_engine.json", json.dumps(record, indent=2))
@@ -446,3 +511,10 @@ def test_engine_speedups(benchmark):
     # check_bench_gate so CI's gate step can never disagree)
     assert obs_overhead["ratio"] >= FLOOR_OBS_OVERHEAD_RATIO, \
         obs_overhead
+    # simulation-as-a-service acceptance (PR 9): a warm persistent
+    # worker fleet must beat a freshly spawned one on the timed Olden
+    # sweep (host-independent — both passes run back to back on the
+    # same machine; the floor lives in check_bench_gate so CI's gate
+    # step can never disagree)
+    assert service_warm["ratio"] >= FLOOR_SERVICE_WARM_VS_COLD, \
+        service_warm

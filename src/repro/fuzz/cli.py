@@ -86,15 +86,22 @@ def run_shard(job: Tuple) -> List[dict]:
 def run_fuzz(levels: Tuple[str, ...], seeds: int, start: int = 0,
              workers: int = 1, out: Optional[str] = None,
              timings: Tuple[bool, ...] = (False, True),
-             max_seconds: Optional[float] = None) -> List[dict]:
-    """Fuzz ``seeds`` seeds per level, sharded; returns all records."""
+             max_seconds: Optional[float] = None,
+             service=None) -> List[dict]:
+    """Fuzz ``seeds`` seeds per level, sharded; returns all records.
+
+    With ``service`` (a ``repro.service`` client), the shards run on
+    the persistent warm-worker fleet instead of a fresh pool;
+    ``workers`` still controls how many shards the seed space splits
+    into.
+    """
     deadline = (time.time() + max_seconds
                 if max_seconds is not None else None)
     jobs = [(level, lo, hi, tuple(timings), out, deadline)
             for level in levels
             for lo, hi in shard_ranges(start, seeds, workers)]
     records: List[dict] = []
-    for shard in map_jobs(run_shard, jobs, workers):
+    for shard in map_jobs(run_shard, jobs, workers, service=service):
         records.extend(shard)
     return records
 
@@ -190,6 +197,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-seconds", type=float, default=None,
                         help="soft wall-clock budget: shards stop "
                              "starting new seeds past it")
+    parser.add_argument("--service", default=None, metavar="STATE_DIR",
+                        nargs="?", const=".repro-service",
+                        help="run shards on the persistent service "
+                             "daemon rendezvoused in STATE_DIR "
+                             "(default .repro-service) instead of a "
+                             "fresh pool")
     args = parser.parse_args(argv)
     if args.seeds < 0:
         parser.error("--seeds must be >= 0")
@@ -199,10 +212,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
     timings = (False,) if args.functional_only else (False, True)
+    service = None
+    if args.service is not None:
+        from repro.service.client import connect
+        service = connect(args.service)
     t0 = time.time()
-    records = run_fuzz(_levels(args.level), args.seeds, args.start,
-                       args.workers, args.out, timings,
-                       args.max_seconds)
+    try:
+        records = run_fuzz(_levels(args.level), args.seeds,
+                           args.start, args.workers, args.out,
+                           timings, args.max_seconds,
+                           service=service)
+    finally:
+        if service is not None:
+            service.close()
     print(_summarize(records))
     print("  wall: %.1fs%s" % (time.time() - t0,
                                ", events: %s" % args.out

@@ -1,4 +1,15 @@
-"""Experiment harness: violation corpus, runners and figure tables."""
+"""Experiment harness: violation corpus, runners and figure tables.
+
+The names in ``__all__`` are the harness's stable public surface
+(documented in docs/SERVICE.md and README; guarded by
+``tests/service/test_public_api.py`` so it cannot silently shrink):
+serial running (:func:`run_workload`, :func:`run_benchmark_matrix`),
+sharded/cached running (:func:`map_jobs`, :class:`ResultCache`,
+:func:`run_benchmark_matrix_parallel`), declarative sweeps
+(:class:`SweepSpec`, :func:`run_sweep`) and the figure tables.  The
+old per-sweep entry points (``sweep_*_parallel``) remain importable
+but are deprecated wrappers over :func:`run_sweep`.
+"""
 
 from repro.harness.violations import (
     ViolationCase,
@@ -10,6 +21,15 @@ from repro.harness.runner import (
     BenchmarkRun,
     run_workload,
     run_benchmark_matrix,
+)
+from repro.harness.parallel import (
+    ResultCache,
+    map_jobs,
+    run_benchmark_matrix_parallel,
+)
+from repro.harness.sweep_api import (
+    SweepSpec,
+    run_sweep,
 )
 from repro.harness.figures import (
     figure5_table,
@@ -27,6 +47,11 @@ __all__ = [
     "BenchmarkRun",
     "run_workload",
     "run_benchmark_matrix",
+    "ResultCache",
+    "map_jobs",
+    "run_benchmark_matrix_parallel",
+    "SweepSpec",
+    "run_sweep",
     "figure5_table",
     "figure6_table",
     "figure7_table",

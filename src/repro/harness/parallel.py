@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import pickle
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.baselines.fatptr import ccured_sim_config
@@ -92,19 +93,29 @@ class ObjTableSummary:
 
 
 class ResultCache:
-    """Content-hash keyed on-disk pickle cache for cell results."""
+    """Content-hash keyed on-disk pickle cache for cell results.
+
+    Publication is atomic (write to a per-pid temp file, then
+    ``os.replace``), so readers never observe a partially written
+    entry even with concurrent writers in other processes.  An entry
+    that nevertheless fails to unpickle — a torn write from a crashed
+    process, a file damaged at rest — is counted under ``corrupt``
+    (distinct from a clean miss) and *deleted*, so the caller's rerun
+    rewrites it instead of tripping over the poisoned file forever.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
         os.makedirs(path, exist_ok=True)
 
     def stats(self) -> Dict[str, int]:
         """Cumulative cache traffic of this instance."""
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes}
+                "writes": self.writes, "corrupt": self.corrupt}
 
     @staticmethod
     def key_of(descr: dict) -> str:
@@ -116,11 +127,25 @@ class ResultCache:
         return os.path.join(self.path, key + ".pkl")
 
     def get(self, key: str):
+        path = self._file(key)
         try:
-            with open(self._file(key), "rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError):
+            fh = open(path, "rb")
+        except OSError:
             self.misses += 1
+            return None
+        try:
+            with fh:
+                result = pickle.load(fh)
+        except Exception:
+            # a present-but-unreadable entry is not a clean miss:
+            # count it separately and drop the poisoned file so the
+            # caller's rerun rewrites it (matters once concurrent
+            # service workers share the store)
+            self.corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
@@ -133,7 +158,8 @@ class ResultCache:
         self.writes += 1
 
 
-def map_jobs(fn, jobs: Iterable, workers: int = 2) -> List:
+def map_jobs(fn, jobs: Iterable, workers: int = 2,
+             service=None) -> List:
     """Run ``fn`` over ``jobs`` on a process pool, preserving order.
 
     The one pool idiom every sharded consumer shares (matrix sweeps,
@@ -141,10 +167,16 @@ def map_jobs(fn, jobs: Iterable, workers: int = 2) -> List:
     an in-process loop — same results, no pool, picklability not
     required — which is also the debuggable path.  ``fn`` and each
     job must pickle when ``workers > 1``.
+
+    With ``service`` (a ``repro.service`` Client or Service) the jobs
+    go to the persistent warm-worker fleet instead of a fresh pool;
+    ``workers`` is then ignored (the fleet's size rules).
     """
     jobs = list(jobs)
     if not jobs:
         return []
+    if service is not None:
+        return service.map(fn, jobs)
     if workers > 1:
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers) as pool:
@@ -252,46 +284,29 @@ def run_benchmark_matrix_parallel(
         timing: bool = True,
         workers: int = 2,
         cache: Optional[ResultCache] = None,
-        engine: str = ENGINE_SUPERBLOCKS) -> Dict[str, BenchmarkRun]:
+        engine: str = ENGINE_SUPERBLOCKS,
+        service=None) -> Dict[str, BenchmarkRun]:
     """Sharded, cached equivalent of
     :func:`repro.harness.runner.run_benchmark_matrix`.
 
     Cells already present in ``cache`` are served from disk; the rest
-    are distributed over ``workers`` processes.  Returns the same
-    ``{workload: BenchmarkRun}`` shape as the serial harness, with
-    ``bench.objtable`` holding an :class:`ObjTableSummary` instead of
-    the live model.
+    are distributed over ``workers`` processes — or submitted, with
+    their content-hash keys, to the persistent ``service`` fleet.
+    Returns the same ``{workload: BenchmarkRun}`` shape as the serial
+    harness, with ``bench.objtable`` holding an
+    :class:`ObjTableSummary` instead of the live model.
     """
     names = list(workloads) if workloads is not None else list(WORKLOADS)
     kinds: List[str] = [KIND_BASE] + list(encodings)
     if with_baselines:
         kinds += [KIND_CCURED, KIND_OBJTABLE]
 
-    before = cache.stats() if cache is not None else {}
     jobs = [(name, kind, timing, engine)
             for name in names for kind in kinds]
-    results: Dict[Tuple[str, str], object] = {}
-    pending: List[Tuple[str, str, bool, str]] = []
-    pending_keys: List[Optional[str]] = []
-    for job in jobs:
-        key = None
-        if cache is not None:
-            key = ResultCache.key_of(cell_descriptor(*job))
-            hit = cache.get(key)
-            if hit is not None:
-                results[job[:2]] = hit
-                continue
-        pending.append(job)
-        pending_keys.append(key)
-
-    if pending:
-        for job, result in zip(pending,
-                               map_jobs(run_cell, pending, workers)):
-            results[job[:2]] = result
-        if cache is not None:
-            for job, key in zip(pending, pending_keys):
-                cache.put(key, results[job[:2]])
-    _sweep_cache_summary(cache, before)
+    by_job = _run_cached_jobs(jobs, run_cell,
+                              cell_descriptor, workers, cache,
+                              service=service)
+    results = {job[:2]: result for job, result in by_job.items()}
 
     matrix: Dict[str, BenchmarkRun] = {}
     for name in names:
@@ -326,30 +341,27 @@ def _ccured_fraction_cell(
     return name, fraction, run_workload(name, _with_obs(config)).cycles
 
 
+def _deprecated_sweep(old: str, spec, workers, cache=None,
+                      service=None):
+    warnings.warn(
+        "%s is deprecated; use repro.harness.run_sweep(SweepSpec(...))"
+        % old, DeprecationWarning, stacklevel=3)
+    from repro.harness.sweep_api import run_sweep
+    return run_sweep(spec, workers=workers, cache=cache,
+                     service=service)
+
+
 def sweep_ccured_safe_fraction_parallel(
         workloads: Iterable[str],
         fractions: Iterable[float],
         workers: int = 2) -> Dict[float, float]:
-    """Sharded version of
-    :func:`repro.harness.sweeps.sweep_ccured_safe_fraction`.
-
-    The plain-core baselines are sharded alongside the fraction grid
-    (they are just cells with ``fraction=None``), so no serial
-    baseline phase precedes the pool.
-    """
-    names = list(workloads)
-    fracs = list(fractions)
-    jobs: List[Tuple[str, Optional[float]]] = \
-        [(name, None) for name in names]
-    jobs += [(name, fraction) for fraction in fracs for name in names]
-    cycles: Dict[Tuple[str, Optional[float]], int] = {}
-    for name, fraction, cyc in map_jobs(_ccured_fraction_cell, jobs,
-                                        workers):
-        cycles[(name, fraction)] = cyc
-    return {fraction: sum(cycles[(name, fraction)]
-                          / cycles[(name, None)]
-                          for name in names) / len(names)
-            for fraction in fracs}
+    """Deprecated wrapper for :func:`repro.harness.run_sweep` with a
+    ``kind="ccured"`` :class:`~repro.harness.sweep_api.SweepSpec`."""
+    from repro.harness.sweep_api import SweepSpec
+    return _deprecated_sweep(
+        "sweep_ccured_safe_fraction_parallel",
+        SweepSpec(kind="ccured", workloads=tuple(workloads),
+                  grid=tuple(fractions)), workers)
 
 
 def _objtable_elision_cell(job: Tuple[str, Optional[float], str]):
@@ -390,29 +402,14 @@ def sweep_objtable_elision_parallel(
         workers: int = 2,
         cache: Optional[ResultCache] = None,
         engine: str = ENGINE_SUPERBLOCKS) -> Dict[float, float]:
-    """Sharded, cached version of
-    :func:`repro.harness.sweeps.sweep_objtable_elision`.
-
-    Cells are (workload × fraction) plus one plain baseline per
-    workload; results identical to the serial sweep.
-    """
-    names = list(workloads)
-    fracs = list(fractions)
-    jobs: List[Tuple[str, Optional[float], str]] = \
-        [(name, None, engine) for name in names]
-    jobs += [(name, fraction, engine)
-             for fraction in fracs for name in names]
-    results = _run_cached_jobs(jobs, _objtable_elision_cell,
-                               _objtable_descriptor, workers, cache)
-    out: Dict[float, float] = {}
-    for fraction in fracs:
-        total = 0.0
-        for name in names:
-            base = results[(name, None, engine)]
-            summary = results[(name, fraction, engine)]
-            total += (base.cycles + summary.extra_uops) / base.cycles
-        out[fraction] = total / len(names)
-    return out
+    """Deprecated wrapper for :func:`repro.harness.run_sweep` with a
+    ``kind="objtable"`` :class:`~repro.harness.sweep_api.SweepSpec`."""
+    from repro.harness.sweep_api import SweepSpec
+    return _deprecated_sweep(
+        "sweep_objtable_elision_parallel",
+        SweepSpec(kind="objtable", workloads=tuple(workloads),
+                  grid=tuple(fractions), engine=engine),
+        workers, cache=cache)
 
 
 def _tag_cache_cell(job: Tuple[str, int, str, str]):
@@ -448,41 +445,48 @@ def sweep_tag_cache_parallel(
         cache: Optional[ResultCache] = None,
         engine: str = ENGINE_SUPERBLOCKS
 ) -> Dict[Tuple[str, int], Dict[str, float]]:
-    """Sharded, cached tag-cache size sensitivity sweep (E9).
+    """Deprecated wrapper for :func:`repro.harness.run_sweep` with a
+    ``kind="tagcache"`` :class:`~repro.harness.sweep_api.SweepSpec`."""
+    from repro.harness.sweep_api import SweepSpec
+    return _deprecated_sweep(
+        "sweep_tag_cache_parallel",
+        SweepSpec(kind="tagcache", workloads=tuple(workloads),
+                  grid=tuple(sizes), encoding=encoding,
+                  engine=engine), workers, cache=cache)
 
-    Returns ``{(workload, size): {"cycles", "tag_miss_rate"}}``; the
-    miss rate comes from the run's tag-kind counters (a tag byte
-    never spans blocks, so it equals the tag cache's own miss rate).
+
+def _map_pending(cell_fn, pending, pending_keys, workers,
+                 service) -> List:
+    """Run the cache misses: fresh pool, or keyed service submission.
+
+    Through the service, each job carries its content-hash key so
+    identical in-flight cells deduplicate on the dispatcher and the
+    workers publish into the shared store.
     """
-    names = list(workloads)
-    size_list = list(sizes)
-    jobs = [(name, size, encoding, engine)
-            for name in names for size in size_list]
-    results = _run_cached_jobs(jobs, _tag_cache_cell,
-                               _tag_cache_descriptor, workers, cache)
-    out: Dict[Tuple[str, int], Dict[str, float]] = {}
-    for name, size, _enc, _eng in jobs:
-        run = results[(name, size, encoding, engine)]
-        tag = run.mem_stats.kinds["tag"]
-        out[(name, size)] = {
-            "cycles": run.cycles,
-            "tag_miss_rate": (tag.l1_misses / tag.accesses
-                              if tag.accesses else 0.0),
-        }
-    return out
+    if service is None:
+        return map_jobs(cell_fn, pending, workers)
+    from repro.service.dispatch import JobSpec
+    futures = service.submit_many(
+        [JobSpec(cell_fn, job, key=key)
+         for job, key in zip(pending, pending_keys)])
+    return [future.result() for future in futures]
 
 
 def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
-                     cache: Optional[ResultCache]) -> Dict:
-    """Resolve jobs through the cache, shard the misses over a pool."""
+                     cache: Optional[ResultCache],
+                     service=None) -> Dict:
+    """Resolve jobs through the cache, shard the misses over a pool
+    (or the persistent service fleet)."""
     before = cache.stats() if cache is not None else {}
     results: Dict = {}
     pending = []
     pending_keys: List[Optional[str]] = []
+    want_keys = cache is not None or service is not None
     for job in jobs:
         key = None
-        if cache is not None:
+        if want_keys:
             key = ResultCache.key_of(descriptor_fn(*job))
+        if cache is not None:
             hit = cache.get(key)
             if hit is not None:
                 results[job] = hit
@@ -491,7 +495,9 @@ def _run_cached_jobs(jobs, cell_fn, descriptor_fn, workers,
         pending_keys.append(key)
     if pending:
         for job, result in zip(pending,
-                               map_jobs(cell_fn, pending, workers)):
+                               _map_pending(cell_fn, pending,
+                                            pending_keys, workers,
+                                            service)):
             results[job] = result
         if cache is not None:
             for job, key in zip(pending, pending_keys):
@@ -518,7 +524,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--engine", default=ENGINE_SUPERBLOCKS,
                         help="execution engine "
                              "(superblocks|blocks|decoded|legacy)")
-    parser.add_argument("--sweep", choices=("objtable", "tagcache"),
+    parser.add_argument("--sweep",
+                        choices=("ccured", "objtable", "tagcache"),
                         default=None,
                         help="run a sensitivity sweep instead of a "
                              "figure matrix")
@@ -527,6 +534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "stream to PATH (cached cells emit "
                              "nothing; render with python -m "
                              "repro.obs.report)")
+    parser.add_argument("--service", default=None, metavar="STATE_DIR",
+                        nargs="?", const=".repro-service",
+                        help="submit cells to the persistent service "
+                             "daemon rendezvoused in STATE_DIR "
+                             "(default .repro-service) instead of a "
+                             "fresh pool")
     args = parser.parse_args(argv)
     if args.obs:
         os.environ[OBS_ENV] = args.obs
@@ -541,46 +554,78 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from repro.harness.figures import (
         figure5_table, figure6_table, figure7_table, format_table)
+    from repro.harness.sweep_api import SweepSpec, run_sweep
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if args.sweep is not None:
-        names = args.workloads or list(WORKLOADS)
-        if args.sweep == "objtable":
-            sweep = sweep_objtable_elision_parallel(
-                names, (0.0, 0.25, 0.5, 0.75, 0.95),
-                workers=args.workers, cache=cache, engine=args.engine)
-            rows = [["%.2f" % fraction, "%.3f" % overhead]
-                    for fraction, overhead in sorted(sweep.items())]
-            print(format_table(["elision", "overhead"], rows,
-                               "Object-table elision sensitivity"))
-        else:
-            sweep = sweep_tag_cache_parallel(
-                names, (512, 2048, 8192, 32768),
-                workers=args.workers, cache=cache, engine=args.engine)
-            rows = [[name, "%dB" % size, "%d" % cell["cycles"],
-                     "%.4f" % cell["tag_miss_rate"]]
-                    for (name, size), cell in sorted(sweep.items())]
-            print(format_table(["benchmark", "tag-cache", "cycles",
-                                "tag-miss-rate"], rows,
-                               "Tag cache size sensitivity (extern4)"))
-        if cache is not None:
-            summary = cache.stats()
-            print("\ncache: %(hits)d hit(s), %(misses)d miss(es), "
-                  "%(writes)d write(s)" % summary
-                  + " at " + cache.path)
-        return 0
-    matrix = run_benchmark_matrix_parallel(
-        workloads=args.workloads, workers=args.workers, cache=cache,
-        engine=args.engine)
-    table_fn = {5: figure5_table, 6: figure6_table, 7: figure7_table}
-    headers, rows = table_fn[args.figure](matrix)
-    print(format_table(headers, rows, "Figure %d" % args.figure))
-    if cache is not None:
+    service = None
+    if args.service is not None:
+        from repro.service.client import connect
+        service = connect(args.service)
+
+    def cache_line() -> str:
+        if cache is None:
+            return ""
         summary = cache.stats()
-        print("\ncache: %(hits)d hit(s), %(misses)d miss(es), "
-              "%(writes)d write(s)" % summary
-              + " at " + cache.path)
-    return 0
+        return ("\ncache: %(hits)d hit(s), %(misses)d miss(es), "
+                "%(writes)d write(s), %(corrupt)d corrupt" % summary
+                + " at " + cache.path)
+
+    try:
+        if args.sweep is not None:
+            names = args.workloads or list(WORKLOADS)
+            if args.sweep == "ccured":
+                sweep = run_sweep(
+                    SweepSpec(kind="ccured", workloads=names,
+                              grid=(0.1, 0.5, 0.9, 1.0)),
+                    workers=args.workers, cache=cache,
+                    service=service)
+                rows = [["%.2f" % fraction, "%.3f" % overhead]
+                        for fraction, overhead in sorted(sweep.items())]
+                print(format_table(["safe-frac", "overhead"], rows,
+                                   "CCured SAFE-fraction sensitivity"))
+            elif args.sweep == "objtable":
+                sweep = run_sweep(
+                    SweepSpec(kind="objtable", workloads=names,
+                              grid=(0.0, 0.25, 0.5, 0.75, 0.95),
+                              engine=args.engine),
+                    workers=args.workers, cache=cache,
+                    service=service)
+                rows = [["%.2f" % fraction, "%.3f" % overhead]
+                        for fraction, overhead in sorted(sweep.items())]
+                print(format_table(["elision", "overhead"], rows,
+                                   "Object-table elision sensitivity"))
+            else:
+                sweep = run_sweep(
+                    SweepSpec(kind="tagcache", workloads=names,
+                              grid=(512, 2048, 8192, 32768),
+                              engine=args.engine),
+                    workers=args.workers, cache=cache,
+                    service=service)
+                rows = [[name, "%dB" % size, "%d" % cell["cycles"],
+                         "%.4f" % cell["tag_miss_rate"]]
+                        for (name, size), cell in sorted(sweep.items())]
+                print(format_table(["benchmark", "tag-cache", "cycles",
+                                    "tag-miss-rate"], rows,
+                                   "Tag cache size sensitivity "
+                                   "(extern4)"))
+            line = cache_line()
+            if line:
+                print(line)
+            return 0
+        matrix = run_benchmark_matrix_parallel(
+            workloads=args.workloads, workers=args.workers,
+            cache=cache, engine=args.engine, service=service)
+        table_fn = {5: figure5_table, 6: figure6_table,
+                    7: figure7_table}
+        headers, rows = table_fn[args.figure](matrix)
+        print(format_table(headers, rows, "Figure %d" % args.figure))
+        line = cache_line()
+        if line:
+            print(line)
+        return 0
+    finally:
+        if service is not None:
+            service.close()
 
 
 if __name__ == "__main__":

@@ -39,10 +39,10 @@ def sweep_ccured_safe_fraction(
     across processes by the parallel harness.
     """
     if workers is not None and workers > 1:
-        from repro.harness.parallel import \
-            sweep_ccured_safe_fraction_parallel
-        return sweep_ccured_safe_fraction_parallel(
-            workloads, fractions, workers=workers)
+        from repro.harness.sweep_api import SweepSpec, run_sweep
+        return run_sweep(
+            SweepSpec(kind="ccured", workloads=tuple(workloads),
+                      grid=tuple(fractions)), workers=workers)
     out: Dict[float, float] = {}
     names = list(workloads)
     bases = {name: run_workload(name, MachineConfig.plain())
@@ -71,10 +71,10 @@ def sweep_objtable_elision(
     across processes by the parallel harness.
     """
     if workers is not None and workers > 1:
-        from repro.harness.parallel import \
-            sweep_objtable_elision_parallel
-        return sweep_objtable_elision_parallel(
-            workloads, fractions, workers=workers)
+        from repro.harness.sweep_api import SweepSpec, run_sweep
+        return run_sweep(
+            SweepSpec(kind="objtable", workloads=tuple(workloads),
+                      grid=tuple(fractions)), workers=workers)
     out: Dict[float, float] = {}
     names = list(workloads)
     bases = {name: run_workload(name, MachineConfig.plain())

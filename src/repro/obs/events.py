@@ -26,6 +26,13 @@ pc ranges), ``side_exit_profile`` (per-branch side-exit counts),
 (one oracle mismatch), ``fuzz_summary`` (per-shard totals) — the
 fuzz events are emitted by ``python -m repro.fuzz`` shards and
 rendered by ``python -m repro.obs.report fuzz``.
+
+The service dispatcher (``repro.service``) adds ``job_dispatch``
+(job → worker assignment, with attempt number), ``job_requeue``
+(a crashed worker's job going back on a queue), ``worker_warm``
+(per-completed-job warm/cold flag with wall seconds) and
+``service_status`` (the final counter snapshot at shutdown) —
+rendered by ``python -m repro.obs.report service``.
 """
 
 from __future__ import annotations

@@ -5,6 +5,7 @@ Usage::
     python -m repro.obs.report summary RUN.jsonl [--top N]
     python -m repro.obs.report diff A B [--top N]
     python -m repro.obs.report fuzz FUZZ.jsonl [--top N]
+    python -m repro.obs.report service SVC.jsonl [--top N]
 
 ``summary`` renders, from one obs JSONL (any number of runs — e.g. a
 whole Olden sweep appended into one file):
@@ -24,6 +25,10 @@ sweep seconds, speedups and trace stats deltas).
 ``fuzz`` renders a ``python -m repro.fuzz`` result stream: programs
 run per level/config, outcome-status and trap-class distributions,
 shard summaries, and every recorded divergence.
+
+``service`` renders a ``repro.service`` dispatcher stream: dispatch
+traffic with the warm/cold split, per-worker job counts and warm
+fractions, the requeue audit trail, and shutdown counter snapshots.
 
 Every renderer is importable — the bench harness calls them to write
 ``results/obs_report.txt`` — and the CLI is just argument plumbing.
@@ -313,6 +318,120 @@ def render_fuzz(events: List[dict], top: int = 10) -> str:
                         fuzz_divergence_table(events, top)])
 
 
+# -- service -----------------------------------------------------------------
+
+def service_overview_table(events: List[dict]) -> str:
+    """Dispatch traffic and warm/cold split across the stream."""
+    dispatches = sum(1 for e in events
+                    if e.get("ev") == "job_dispatch")
+    requeues = sum(1 for e in events if e.get("ev") == "job_requeue")
+    warm = cold = 0
+    warm_s = cold_s = 0.0
+    for event in events:
+        if event.get("ev") != "worker_warm":
+            continue
+        seconds = float(event.get("seconds") or 0.0)
+        if event.get("warm"):
+            warm += 1
+            warm_s += seconds
+        else:
+            cold += 1
+            cold_s += seconds
+    rows = [["dispatches", str(dispatches)],
+            ["requeues", str(requeues)],
+            ["warm jobs", str(warm)],
+            ["cold jobs", str(cold)]]
+    if warm and cold:
+        mean_warm = warm_s / warm
+        mean_cold = cold_s / cold
+        rows.append(["mean cold s", "%.4f" % mean_cold])
+        rows.append(["mean warm s", "%.4f" % mean_warm])
+        if mean_warm > 0:
+            rows.append(["cold/warm", "%.2fx"
+                         % (mean_cold / mean_warm)])
+    return format_table(["metric", "value"], rows,
+                        "Service traffic")
+
+
+def service_worker_table(events: List[dict]) -> str:
+    """Per-worker job counts and warm fractions."""
+    workers: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("ev") != "worker_warm":
+            continue
+        wid = str(event.get("worker", "?"))
+        cell = workers.setdefault(wid, {"jobs": 0, "warm": 0,
+                                        "seconds": 0.0})
+        cell["jobs"] += 1
+        cell["warm"] += 1 if event.get("warm") else 0
+        cell["seconds"] += float(event.get("seconds") or 0.0)
+    headers = ["worker", "jobs", "warm", "warm-frac", "busy-s"]
+    rows = []
+    for wid, cell in sorted(workers.items(),
+                            key=lambda kv: int(kv[0])
+                            if kv[0].isdigit() else 0):
+        rows.append([
+            "w" + wid, str(int(cell["jobs"])),
+            str(int(cell["warm"])),
+            "%.2f" % (cell["warm"] / cell["jobs"])
+            if cell["jobs"] else "-",
+            "%.3f" % cell["seconds"],
+        ])
+    return format_table(headers, rows, "Workers")
+
+
+def service_requeue_table(events: List[dict], top: int = 10) -> str:
+    """Every requeue (the crash-recovery audit trail)."""
+    rows = []
+    for event in events:
+        if event.get("ev") != "job_requeue":
+            continue
+        rows.append([str(event.get("job", "?")),
+                     event.get("reason", "?"),
+                     "w%s" % event.get("worker", "?"),
+                     str(event.get("exitcode", "?")),
+                     str(event.get("attempt", "?"))])
+    if not rows:
+        return format_table(
+            ["job", "reason", "worker", "exitcode", "attempt"],
+            [["-"] * 5], "Requeues (none recorded)")
+    return format_table(
+        ["job", "reason", "worker", "exitcode", "attempt"],
+        rows[:top], "Requeues (%d recorded)" % len(rows))
+
+
+def service_status_table(events: List[dict]) -> str:
+    """Final counter snapshots (one per service shutdown)."""
+    rows = []
+    for event in events:
+        if event.get("ev") != "service_status":
+            continue
+        counters = event.get("counters") or {}
+        for name in sorted(counters):
+            rows.append([name, str(counters[name])])
+    if not rows:
+        return ""
+    return format_table(["counter", "value"], rows,
+                        "Shutdown counters")
+
+
+def render_service(events: List[dict], top: int = 10) -> str:
+    """The full ``service`` report for one JSONL event stream."""
+    vocabulary = ("job_dispatch", "job_requeue", "worker_warm",
+                  "service_status")
+    if not any(e.get("ev") in vocabulary for e in events):
+        return ("no service events recorded (run a sweep through "
+                "the service with an --obs path, or point the "
+                "daemon at one with start --obs)")
+    sections = [service_overview_table(events),
+                service_worker_table(events),
+                service_requeue_table(events, top)]
+    status = service_status_table(events)
+    if status:
+        sections.append(status)
+    return "\n\n".join(sections)
+
+
 # -- diffs -------------------------------------------------------------------
 
 def _delta(a: float, b: float) -> str:
@@ -424,23 +543,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Render obs JSONL traces and bench-record diffs")
     parser.add_argument("command", nargs="?", default="summary",
-                        help='"summary" (default), "diff" or '
-                             '"fuzz"; a bare path is treated as '
-                             "summary PATH")
+                        help='"summary" (default), "diff", "fuzz" '
+                             'or "service"; a bare path is treated '
+                             'as summary PATH')
     parser.add_argument("paths", nargs="*",
-                        help="one JSONL for summary/fuzz; two "
-                             "artifacts for diff")
+                        help="one JSONL for summary/fuzz/service; "
+                             "two artifacts for diff")
     parser.add_argument("--top", type=int, default=10,
-                        help="rows in the hot-trace / divergence "
-                             "tables")
+                        help="rows in the hot-trace / divergence / "
+                             "requeue tables")
     args = parser.parse_args(argv)
 
     command = args.command
     paths = list(args.paths)
-    if command not in ("summary", "diff", "fuzz"):
+    if command not in ("summary", "diff", "fuzz", "service"):
         paths.insert(0, command)  # bare-path shorthand
         command = "summary"
-    if command in ("summary", "fuzz"):
+    if command in ("summary", "fuzz", "service"):
         if len(paths) != 1:
             parser.error("%s takes exactly one JSONL path" % command)
         kind, data = load_artifact(paths[0])
@@ -448,7 +567,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("%s is a bench record; %s wants an "
                          "obs JSONL (use diff for bench records)"
                          % (paths[0], command))
-        render = render_fuzz if command == "fuzz" else render_summary
+        render = {"fuzz": render_fuzz,
+                  "service": render_service}.get(command,
+                                                 render_summary)
         print(render(data, top=args.top))
         return 0
     if len(paths) != 2:

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: persistent workers, async submission.
+
+The public surface (stable; ``tests/service/test_public_api.py``
+asserts it does not shrink):
+
+* :class:`Client` / :func:`connect` — the submission API, local or
+  over a daemon socket;
+* :class:`Service` / :class:`JobSpec` — the in-process dispatcher
+  and its unit of work;
+* :class:`ResultStore` — the shared content-addressed result store;
+* the failure types :class:`ServiceError`, :class:`ServiceClosed`,
+  :class:`JobFailed`, :class:`JobTimeout`.
+
+See ``docs/SERVICE.md`` for architecture, the warm-cache contract,
+and failure semantics; ``python -m repro.service`` for the daemon
+CLI (``start`` / ``status`` / ``stop`` / ``bench``).
+"""
+
+from repro.service.client import STATE_DIR, Client, connect
+from repro.service.dispatch import (JobFailed, JobSpec, JobTimeout,
+                                    Service, ServiceClosed,
+                                    ServiceError)
+from repro.service.store import ResultStore
+
+__all__ = [
+    "Client",
+    "connect",
+    "Service",
+    "JobSpec",
+    "ResultStore",
+    "ServiceError",
+    "ServiceClosed",
+    "JobFailed",
+    "JobTimeout",
+    "STATE_DIR",
+]

@@ -1,0 +1,116 @@
+"""Shared content-addressed result store for the simulation service.
+
+:class:`ResultStore` generalizes the harness's
+:class:`~repro.harness.parallel.ResultCache` — same on-disk format
+(``<sha256-of-descriptor>.pkl`` pickles), same content-hash keys —
+into a store that several long-lived worker processes publish into
+*concurrently*:
+
+* **atomic publish** — every ``put`` writes a per-pid temp file and
+  ``os.replace``\\ s it into place, so a reader can never observe a
+  half-written entry regardless of how many workers race on the same
+  key (last writer wins, and both wrote the same content-addressed
+  result anyway);
+* **lock-free reads** — ``get`` is a plain ``open``; there is no
+  lock file, no shared mutex, nothing a crashed process can leave
+  held.  An entry that fails to unpickle (torn write from a killed
+  worker, damage at rest) is counted under ``corrupt`` and deleted
+  so the next writer repairs it;
+* **an index file** (``index.jsonl``) — every publish appends one
+  JSON line (key, pid, optional metadata) in a single ``O_APPEND``
+  ``write(2)``, the same concurrent-append idiom as the obs event
+  log.  The index makes the store *enumerable* (which cells exist,
+  who produced them) without stat'ing thousands of pickles; the
+  directory listing stays the ground truth (:meth:`keys`), since
+  index lines survive entry deletion.
+
+Because the format is identical, a service pointed at the harness's
+``.repro-cache`` directory serves every cell any previous sweep ever
+cached — and sweeps run *without* the service keep hitting cells the
+service's workers published.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.harness.parallel import ResultCache
+
+#: enumeration sidecar appended on every publish
+INDEX_NAME = "index.jsonl"
+
+
+class ResultStore(ResultCache):
+    """Concurrent-writer-safe, enumerable result store (see module)."""
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.index_path = os.path.join(path, INDEX_NAME)
+
+    # -- publication ---------------------------------------------------------
+
+    def put(self, key: str, result, meta: Optional[dict] = None) -> None:
+        """Publish one entry atomically and append its index line."""
+        super().put(key, result)
+        record: Dict = {"key": key, "pid": os.getpid()}
+        if meta:
+            record["meta"] = meta
+        line = (json.dumps(record, sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        fd = os.open(self.index_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    # -- enumeration ---------------------------------------------------------
+
+    def keys(self) -> Set[str]:
+        """Every published key, from the directory (ground truth)."""
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return set()
+        return {name[:-4] for name in names if name.endswith(".pkl")}
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._file(key))
+
+    def index(self) -> Iterator[dict]:
+        """Yield every index record in publish order.
+
+        Tolerates a torn final line (a writer killed mid-append) the
+        same way the obs event reader does; keys may repeat when
+        several workers published the same cell.
+        """
+        try:
+            fh = open(self.index_path, "r", encoding="utf-8")
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue
+
+    def entries(self) -> List[dict]:
+        """Deduplicated index records (last publish per key wins),
+        restricted to keys whose pickle still exists on disk."""
+        latest: Dict[str, dict] = {}
+        for record in self.index():
+            key = record.get("key")
+            if key:
+                latest[key] = record
+        live = self.keys()
+        return [record for key, record in sorted(latest.items())
+                if key in live]

@@ -54,7 +54,7 @@ class TestShardedMatrix:
         assert cache.misses == CELLS
         assert cache.writes == CELLS
         assert cache.stats() == {"hits": 0, "misses": CELLS,
-                                 "writes": CELLS}
+                                 "writes": CELLS, "corrupt": 0}
         # the sweep feeds the process-wide metrics registry
         delta = REGISTRY.diff(before)
         assert delta["harness.cache.misses"] == CELLS
@@ -76,6 +76,26 @@ class TestShardedMatrix:
         assert warm_cache.writes == 0
         assert REGISTRY.diff(before)["harness.cache.hits"] == CELLS
         assert_matrices_equal(warm, serial)
+
+    def test_corrupt_entry_counted_deleted_and_rewritten(
+            self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = ResultCache.key_of({"cell": "poisoned"})
+        cache.put(key, {"value": 42})
+        with open(cache._file(key), "wb") as fh:
+            fh.write(b"not a pickle")  # torn write at rest
+        assert cache.get(key) is None
+        # distinguished from a clean miss, and the poison is gone
+        assert cache.stats() == {"hits": 0, "misses": 0,
+                                 "writes": 1, "corrupt": 1}
+        assert not os.path.exists(cache._file(key))
+        # the caller's rerun rewrites and serves the entry again
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.stats() == {"hits": 1, "misses": 0,
+                                 "writes": 2, "corrupt": 1}
 
     def test_source_change_invalidates_cell_key(self):
         a = ResultCache.key_of(
